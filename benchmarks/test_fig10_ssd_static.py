@@ -1,0 +1,47 @@
+"""Fig. 10: the static solution on HDD vs SSD (Terasort)."""
+
+from repro.harness.report import render_table, write_result
+
+
+def _render(result, label):
+    rows = []
+    for threads in sorted(result["runs"], reverse=True):
+        run = result["runs"][threads]
+        rows.append((threads, run["total"], *[f"{d:.0f}" for d in run["stages"]]))
+    rows.append(
+        ("bestfit", result["bestfit"]["total"],
+         *[f"{d:.0f}" for d in result["bestfit"]["stages"]])
+    )
+    return render_table(
+        ["Threads", "Total (s)", "Stage 0", "Stage 1", "Stage 2"],
+        rows,
+        title=f"Fig. 10 ({label}): static solution on Terasort",
+    )
+
+
+def test_fig10_hdd_vs_ssd(benchmark, sweep_cache):
+    def build():
+        return sweep_cache("terasort", "hdd"), sweep_cache("terasort", "ssd")
+
+    hdd, ssd = benchmark.pedantic(build, rounds=1, iterations=1)
+    write_result("fig10a_hdd", _render(hdd, "HDD"))
+    write_result("fig10b_ssd", _render(ssd, "SSD"))
+
+    hdd_runs, ssd_runs = hdd["runs"], ssd["runs"]
+
+    # SSDs serve the same job faster at every setting.
+    for threads in hdd_runs:
+        assert ssd_runs[threads]["total"] < hdd_runs[threads]["total"]
+
+    # The read stage tolerates high concurrency on SSD: its best setting is
+    # higher than on HDD ("full random access at a uniform latency").
+    hdd_stage0 = {t: hdd_runs[t]["stages"][0] for t in hdd_runs}
+    ssd_stage0 = {t: ssd_runs[t]["stages"][0] for t in ssd_runs}
+    assert min(ssd_stage0, key=ssd_stage0.get) >= min(hdd_stage0, key=hdd_stage0.get)
+    assert min(ssd_stage0, key=ssd_stage0.get) >= 16
+
+    # The static gain shrinks on SSD (paper: 20.2% vs 47.5%).
+    hdd_gain = 1.0 - hdd["bestfit"]["total"] / hdd_runs[32]["total"]
+    ssd_gain = 1.0 - ssd["bestfit"]["total"] / ssd_runs[32]["total"]
+    assert ssd_gain < hdd_gain
+    assert 0.05 < ssd_gain < 0.45

@@ -1,0 +1,48 @@
+"""Fig. 5: average disk utilisation vs thread count in I/O stages."""
+
+from repro.harness.experiments import fig5_disk_utilization
+from repro.harness.report import render_table, write_result
+
+
+def test_fig5_disk_utilisation(benchmark, sweep_cache):
+    def build():
+        sweeps = {
+            name: sweep_cache(name)
+            for name in ("terasort", "pagerank", "aggregation", "join")
+        }
+        return fig5_disk_utilization(sweeps)
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    thread_counts = sorted(rows[0]["utilization_by_threads"], reverse=True)
+    write_result(
+        "fig5_disk_utilisation",
+        render_table(
+            ["Workload", "Stage"]
+            + [f"{t} thr" for t in thread_counts]
+            + ["Highest at"],
+            [
+                (
+                    r["workload"],
+                    r["stage"],
+                    *[f"{r['utilization_by_threads'][t] * 100:.1f}%"
+                      for t in thread_counts],
+                    r["best_threads"],
+                )
+                for r in rows
+            ],
+            title="Fig. 5: average disk utilisation across nodes (I/O stages)",
+        ),
+    )
+    by_key = {(r["workload"], r["stage"]): r for r in rows}
+
+    # Terasort stages peak at moderate thread counts: the red bar in the
+    # paper sits at 4/8/8, matching the static BestFit.
+    for stage in (0, 1, 2):
+        best = by_key[("terasort", stage)]["best_threads"]
+        assert best in (4, 8, 16), (stage, best)
+
+    # Aggregation/Join scans: utilisation *drops* sharply with fewer threads
+    # (the CPU-heavy transformations starve the disk -- paper section 4).
+    for workload in ("aggregation", "join"):
+        util = by_key[(workload, 0)]["utilization_by_threads"]
+        assert util[2] < util[32] * 0.7, (workload, util)

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Per-executor adaptation on a heterogeneous cluster (limitation L4).
+
+The paper's Fig. 3 shows nominally identical DAS-5 nodes with very different
+effective I/O performance, and Fig. 6 shows the self-adaptive executors
+choosing *different* pool sizes per executor.  This example builds a cluster
+where one node's disk is markedly slower and shows the dynamic policy
+settling on a smaller pool exactly there -- no operator intervention.
+
+Run:  python examples/heterogeneous_cluster.py
+"""
+
+from repro.cluster import Cluster, ClusterSpec, NodeSpec
+from repro.engine import SparkContext
+from repro.adaptive import AdaptivePolicy
+from repro.harness.report import render_table
+from repro.workloads import Terasort
+
+
+def build_cluster():
+    spec = ClusterSpec(num_nodes=4, disk_sigma=0.0, cpu_sigma=0.0)
+    cluster = Cluster(spec)
+    # Degrade node 3's disk to 45% of nominal (a worn or mis-firmwared
+    # drive, as in the Fig. 3 outliers).
+    slow = cluster.node(3)
+    slow.disk.speed_factor = 0.45
+    return cluster
+
+
+def main():
+    cluster = build_cluster()
+    ctx = SparkContext(cluster, policy_factory=lambda ex: AdaptivePolicy())
+    workload = Terasort(scale=0.25)
+    run = workload.run(ctx)
+
+    print("Disk speed factors:",
+          [f"node{n.node_id}={n.disk.speed_factor:.2f}" for n in cluster.nodes])
+    print(f"\nDynamic Terasort finished in {run.runtime:.0f} s; "
+          "per-executor decisions:\n")
+    rows = []
+    for stage in run.stages:
+        sizes = stage.final_pool_sizes()
+        rows.append(
+            (stage.stage_id, f"{stage.duration:.0f}",
+             *[sizes[e] for e in sorted(sizes)])
+        )
+    print(render_table(
+        ["stage", "duration (s)"] + [f"executor {e}" for e in range(4)],
+        rows,
+    ))
+    print(
+        "\nExecutor 3 sits on the slow disk.  In the local-disk-dominated "
+        "stages (reading\ninput, spilling shuffle output) its MAPE-K loop "
+        "observes a higher congestion\nindex and settles on a smaller pool "
+        "than its peers -- no per-node configuration.\nStages dominated by "
+        "*remote* fetches may legitimately choose differently: the\nloop "
+        "tunes against whatever its own sensors see (paper Fig. 6)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""PageRank: where the static solution is blind and the dynamic one shines.
+
+PageRank's iteration stages move tens of GiB through the disks via shuffle
+spills, but contain no explicit I/O operator -- so the static classification
+cannot touch them (the paper's limitation L2).  The MAPE-K executors tune
+them anyway, reproducing the paper's headline: static ~16% vs dynamic ~54%.
+
+Run:  python examples/pagerank_adaptive.py [scale]
+
+(Contention scales with data volume: at the default half-scale input the
+gap is ~21% vs ~47%; at scale 1.0 it reaches the paper's ~16% vs ~53%.)
+"""
+
+import sys
+
+from repro.harness import derive_bestfit, run_workload, static_sweep
+from repro.harness.report import render_table
+
+
+def main(scale: float = 0.5):
+    print(f"PageRank at scale {scale} on 4 HDD nodes\n")
+
+    sweep = static_sweep("pagerank", workload_kwargs={"scale": scale})
+    bestfit_sizes = derive_bestfit(sweep)
+    default = sweep[32]
+    bestfit = run_workload("pagerank", policy=("bestfit", bestfit_sizes),
+                           workload_kwargs={"scale": scale})
+    dynamic = run_workload("pagerank", policy="dynamic",
+                           workload_kwargs={"scale": scale})
+
+    print("Stage-by-stage view (I/O-marked = visible to the static solution):")
+    rows = []
+    for ordinal, stage in enumerate(dynamic.stages):
+        rows.append(
+            (
+                ordinal,
+                "yes" if stage.is_io_marked else "NO (L2)",
+                bestfit_sizes[ordinal],
+                f"{sorted(stage.final_pool_sizes().values())}",
+                f"{default.stages[ordinal].duration:.0f}",
+                f"{stage.duration:.0f}",
+            )
+        )
+    print(render_table(
+        ["stage", "I/O-marked", "static choice", "dynamic choice",
+         "default (s)", "dynamic (s)"],
+        rows,
+    ))
+
+    print("\nTotals (paper Fig. 8b: static -16.3%, dynamic -54.1%):")
+    print(render_table(
+        ["system", "runtime (s)", "vs default"],
+        [
+            ("default", default.runtime, "--"),
+            ("static bestfit", bestfit.runtime,
+             f"-{(1 - bestfit.runtime / default.runtime) * 100:.1f}%"),
+            ("self-adaptive", dynamic.runtime,
+             f"-{(1 - dynamic.runtime / default.runtime) * 100:.1f}%"),
+        ],
+    ))
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.5)

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Terasort thread-count tuning: the paper's sections 4-5 in one script.
+
+Reproduces the Terasort story at reduced scale (30 GiB by default):
+
+1. sweep the *static solution* over thread counts (Fig. 2a),
+2. derive the per-stage *static BestFit* oracle,
+3. run the *self-adaptive executors* and compare (Fig. 8a).
+
+Run:  python examples/terasort_tuning.py [scale]
+"""
+
+import sys
+
+from repro.harness import derive_bestfit, run_workload, static_sweep
+from repro.harness.report import render_table
+
+
+def main(scale: float = 0.25):
+    print(f"Terasort at scale {scale} ({120 * scale:.0f} GiB) on 4 HDD nodes\n")
+
+    print("1. Static solution sweep (paper Fig. 2a):")
+    sweep = static_sweep("terasort", workload_kwargs={"scale": scale})
+    rows = [
+        (threads, run.runtime, *[f"{d:.0f}" for d in run.stage_durations()])
+        for threads, run in sorted(sweep.items(), reverse=True)
+    ]
+    print(render_table(
+        ["threads", "total (s)", "stage 0", "stage 1", "stage 2"], rows
+    ))
+
+    bestfit_sizes = derive_bestfit(sweep)
+    print(f"\n2. Static BestFit (per-stage optima): {bestfit_sizes}")
+    bestfit = run_workload("terasort", policy=("bestfit", bestfit_sizes),
+                           workload_kwargs={"scale": scale})
+
+    print("\n3. Self-adaptive executors (MAPE-K hill climb per stage):")
+    dynamic = run_workload("terasort", policy="dynamic",
+                           workload_kwargs={"scale": scale})
+    for stage in dynamic.stages:
+        sizes = stage.final_pool_sizes()
+        print(
+            f"  stage {stage.stage_id}: settled at "
+            f"{sorted(sizes.values())} threads per executor "
+            f"({stage.total_threads_used()}/128 total)"
+        )
+
+    default = sweep[32]
+    print("\nSummary (paper Fig. 8a: bestfit -47.5%, dynamic -34.4%):")
+    print(render_table(
+        ["system", "runtime (s)", "vs default"],
+        [
+            ("default (32 threads)", default.runtime, "--"),
+            ("static bestfit", bestfit.runtime,
+             f"-{(1 - bestfit.runtime / default.runtime) * 100:.1f}%"),
+            ("self-adaptive", dynamic.runtime,
+             f"-{(1 - dynamic.runtime / default.runtime) * 100:.1f}%"),
+        ],
+    ))
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.25)

@@ -1,0 +1,23 @@
+"""Reproduction of "Self-adaptive Executors for Big Data Processing".
+
+Sobhan Omranian Khorasani, Jan S. Rellermeyer, Dick Epema -- Middleware 2019,
+DOI 10.1145/3361525.3361545.
+
+The package rebuilds the paper's entire system on a deterministic
+discrete-event simulator:
+
+* :mod:`repro.simulation` -- event kernel and fair-share resources
+* :mod:`repro.storage` / :mod:`repro.network` / :mod:`repro.cluster` -- the
+  hardware substrate (HDD/SSD contention, NICs, DAS-5-shaped nodes, DFS)
+* :mod:`repro.engine` -- the Spark-like engine (RDDs, DAG/task schedulers,
+  resizable executors, shuffle, Table 1's configuration surface)
+* :mod:`repro.monitoring` -- mpstat/iostat/strace analogues
+* :mod:`repro.adaptive` -- the contribution: MAPE-K self-adaptive executors
+  plus the static solution and the BestFit oracle
+* :mod:`repro.workloads` -- the HiBench-style evaluation workloads
+* :mod:`repro.harness` -- per-figure experiment protocols
+
+Start with ``examples/quickstart.py`` or ``python -m repro compare terasort``.
+"""
+
+__version__ = "1.0.0"

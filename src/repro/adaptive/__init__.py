@@ -1,0 +1,44 @@
+"""Self-adaptive executors: the paper's contribution.
+
+Three pool-size policies reproduce the paper's three compared systems:
+
+* **Default Spark** -- :class:`repro.engine.policy.DefaultPolicy` (one thread
+  per virtual core).
+* **Static solution** (paper section 4) -- :class:`StaticIOPolicy`: a fixed,
+  user-chosen thread count for stages whose RDD lineage contains explicit
+  I/O operators; :class:`BestFitPolicy` is the per-stage oracle derived from
+  sweeping the static solution (the paper's "static BestFit").
+* **Dynamic solution** (paper section 5) -- :class:`AdaptivePolicy`: a
+  MAPE-K feedback loop per executor that monitors epoll wait time (ε) and
+  task I/O throughput (µ), computes the congestion index ζ = ε/µ, and
+  hill-climbs the pool size from ``cmin`` by doubling, rolling back when ζ
+  worsens.
+
+The loop itself lives in :mod:`repro.adaptive.mapek` with one class per
+MAPE-K role, mirroring the paper's presentation.
+"""
+
+from repro.adaptive.mapek import (
+    AdaptiveControlLoop,
+    Analyzer,
+    Decision,
+    Effector,
+    KnowledgeBase,
+    Monitor,
+    Planner,
+)
+from repro.adaptive.policies import AdaptivePolicy, BestFitPolicy
+from repro.adaptive.static_policy import StaticIOPolicy
+
+__all__ = [
+    "AdaptiveControlLoop",
+    "AdaptivePolicy",
+    "Analyzer",
+    "BestFitPolicy",
+    "Decision",
+    "Effector",
+    "KnowledgeBase",
+    "Monitor",
+    "Planner",
+    "StaticIOPolicy",
+]

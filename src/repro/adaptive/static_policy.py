@@ -1,0 +1,35 @@
+"""The static solution (paper section 4).
+
+The first step beyond stock Spark: stages whose RDD lineage contains explicit
+I/O operators (``textFile``, ``saveAsTextFile``, ``saveAsHadoopFile``) run
+with a *user-supplied* thread count; every other stage keeps the default
+(all virtual cores).  The classification is exactly the paper's: "the I/O
+stages are considered to be the ones that read from or write to the disk
+regardless of their input/output size", which deliberately misses shuffle
+spills (limitation L2) and requires the user to pick the value (L5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.policy import ExecutorPolicy
+
+
+class StaticIOPolicy(ExecutorPolicy):
+    """Fixed thread count for I/O-marked stages, default for the rest."""
+
+    def __init__(self, io_threads: Optional[int] = None) -> None:
+        if io_threads is not None and io_threads <= 0:
+            raise ValueError(f"io_threads must be positive, got {io_threads}")
+        self._io_threads = io_threads
+
+    def io_threads_for(self, executor) -> int:
+        if self._io_threads is not None:
+            return self._io_threads
+        return int(executor.ctx.conf.get("repro.static.io.threads"))
+
+    def on_stage_start(self, executor, stage) -> int:
+        if stage.is_io_marked:
+            return self.io_threads_for(executor)
+        return executor.default_pool_size

@@ -1,0 +1,179 @@
+"""Command-line interface: run workloads and comparisons without writing code.
+
+Examples::
+
+    python -m repro run terasort --policy dynamic --scale 0.25
+    python -m repro compare pagerank --scale 0.5
+    python -m repro sweep terasort --device ssd
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.harness.report import render_table
+from repro.harness.runner import derive_bestfit, run_workload, static_sweep
+from repro.workloads.catalog import WORKLOADS, workload_names
+
+POLICY_CHOICES = ("default", "dynamic", "static", "fixed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Self-adaptive Executors for Big Data "
+            "Processing' (Middleware 2019)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one workload under one policy")
+    _common_args(run)
+    run.add_argument("--policy", choices=POLICY_CHOICES, default="default")
+    run.add_argument("--threads", type=int, default=8,
+                     help="thread count for static/fixed policies")
+
+    compare = sub.add_parser(
+        "compare", help="default vs static BestFit vs dynamic (Fig. 8)"
+    )
+    _common_args(compare)
+
+    sweep = sub.add_parser(
+        "sweep", help="static solution at each thread count (Fig. 2/4/10)"
+    )
+    _common_args(sweep)
+
+    sub.add_parser("list", help="list available workloads")
+    return parser
+
+
+def _common_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("workload", choices=sorted(WORKLOADS))
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="input-size multiplier (ratios are invariant)")
+    parser.add_argument("--nodes", type=int, default=4)
+    parser.add_argument("--device", choices=("hdd", "ssd"), default="hdd")
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def _policy_spec(args):
+    if args.policy == "static":
+        return ("static", args.threads)
+    if args.policy == "fixed":
+        return ("fixed", args.threads)
+    return args.policy
+
+
+def _run_kwargs(args):
+    return dict(
+        num_nodes=args.nodes,
+        device=args.device,
+        seed=args.seed,
+        workload_kwargs={"scale": args.scale},
+    )
+
+
+def cmd_list(_args) -> int:
+    rows = []
+    for name in workload_names():
+        cls = WORKLOADS[name]
+        rows.append(
+            (
+                name,
+                cls.category,
+                f"{cls.input_size / 1024**3:.2f}",
+                f"{cls.paper_io_activity / 1024**3:.2f}" if cls.paper_io_activity else "--",
+            )
+        )
+    print(render_table(
+        ["workload", "category", "input (GiB)", "paper I/O activity (GiB)"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_run(args) -> int:
+    run = run_workload(args.workload, policy=_policy_spec(args),
+                       **_run_kwargs(args))
+    print(f"{args.workload} [{args.policy}] finished in "
+          f"{run.runtime:.1f} simulated seconds\n")
+    rows = []
+    for stage in run.stages:
+        sizes = stage.final_pool_sizes()
+        rows.append(
+            (
+                stage.stage_id,
+                "I/O" if stage.is_io_marked else "shuffle",
+                stage.num_tasks,
+                f"{stage.duration:.1f}",
+                " ".join(str(sizes[e]) for e in sorted(sizes)),
+            )
+        )
+    print(render_table(
+        ["stage", "kind", "tasks", "duration (s)", "threads/executor"], rows
+    ))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    sweep = static_sweep(args.workload, **_run_kwargs(args))
+    num_stages = next(iter(sweep.values())).num_stages
+    rows = [
+        (threads, f"{run.runtime:.1f}",
+         *[f"{d:.0f}" for d in run.stage_durations()])
+        for threads, run in sorted(sweep.items(), reverse=True)
+    ]
+    print(render_table(
+        ["threads", "total (s)"] + [f"stage {i}" for i in range(num_stages)],
+        rows,
+        title=f"Static solution sweep: {args.workload} on {args.device}",
+    ))
+    sizes = derive_bestfit(sweep)
+    print(f"\nper-stage BestFit: {sizes}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    kwargs = _run_kwargs(args)
+    sweep = static_sweep(args.workload, **kwargs)
+    bestfit_sizes = derive_bestfit(sweep)
+    default = sweep[32]
+    bestfit = run_workload(args.workload, policy=("bestfit", bestfit_sizes),
+                           **kwargs)
+    dynamic = run_workload(args.workload, policy="dynamic", **kwargs)
+    rows = []
+    for label, run in (("default", default), ("static bestfit", bestfit),
+                       ("self-adaptive", dynamic)):
+        reduction = (
+            "--" if run is default
+            else f"-{(1 - run.runtime / default.runtime) * 100:.1f}%"
+        )
+        rows.append((label, f"{run.runtime:.1f}", reduction))
+    print(render_table(
+        ["system", "runtime (s)", "vs default"],
+        rows,
+        title=f"{args.workload} on {args.nodes} {args.device.upper()} nodes "
+              f"(scale {args.scale})",
+    ))
+    return 0
+
+
+COMMANDS = {
+    "list": cmd_list,
+    "run": cmd_run,
+    "sweep": cmd_sweep,
+    "compare": cmd_compare,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""One worker node: CPU bank, local disk, and NIC endpoints."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.network.fabric import GBIT, NetworkFabric
+from repro.simulation.core import Simulator
+from repro.simulation.resources import CpuResource
+from repro.storage.device import HDD_PROFILE, DeviceProfile, StorageDevice
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Hardware description of a worker node (defaults mirror DAS-5)."""
+
+    cores: int = 32
+    memory_bytes: float = 56.0 * 1024**3
+    disk_profile: DeviceProfile = field(default=HDD_PROFILE)
+    nic_bandwidth: float = 10.0 * GBIT
+    cpu_speed_factor: float = 1.0
+    disk_speed_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError(f"cores must be positive, got {self.cores}")
+        if self.memory_bytes <= 0:
+            raise ValueError("memory_bytes must be positive")
+        if self.cpu_speed_factor <= 0 or self.disk_speed_factor <= 0:
+            raise ValueError("speed factors must be positive")
+
+
+class Node:
+    """A provisioned node bound to a simulator and network fabric."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        spec: NodeSpec,
+        fabric: NetworkFabric,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.spec = spec
+        self.name = f"node{300 + node_id}"  # DAS-5 naming convention
+        self.cpu = CpuResource(
+            sim,
+            f"cpu.{node_id}",
+            cores=spec.cores,
+            speed_factor=spec.cpu_speed_factor,
+        )
+        self.disk = StorageDevice(
+            sim,
+            f"disk.{node_id}",
+            profile=spec.disk_profile,
+            speed_factor=spec.disk_speed_factor,
+        )
+        fabric.register_node(node_id, bandwidth=spec.nic_bandwidth)
+        self.fabric = fabric
+
+    @property
+    def cores(self) -> int:
+        return self.spec.cores
+
+    @property
+    def egress(self):
+        return self.fabric.egress(self.node_id)
+
+    @property
+    def ingress(self):
+        return self.fabric.ingress(self.node_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node(id={self.node_id}, name={self.name!r}, cores={self.cores})"

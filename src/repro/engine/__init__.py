@@ -1,0 +1,29 @@
+"""A Spark-like data processing engine running on the simulated cluster.
+
+This package rebuilds the slice of Apache Spark that the paper's contribution
+touches:
+
+* :mod:`repro.engine.conf` -- the configuration system with the 117
+  functional parameters of Spark 2.4 (paper Table 1) plus this project's own
+  ``repro.*`` tuning knobs.
+* :mod:`repro.engine.rdd` -- RDDs with lineage, narrow and shuffle
+  dependencies, and the I/O markers (``textFile``/``saveAsTextFile``) the
+  static solution keys on.
+* :mod:`repro.engine.dag` -- the DAG scheduler that cuts the lineage into
+  stages at shuffle boundaries.
+* :mod:`repro.engine.scheduler` -- the task scheduler with the per-executor
+  free-core registry and the message protocol extension that lets executors
+  announce pool resizes (paper section 5.4).
+* :mod:`repro.engine.executor` -- executors with *resizable* thread pools,
+  the managed element of the MAPE-K loop.
+* :mod:`repro.engine.shuffle` -- map-output tracking and shuffle data
+  placement (shuffle writes spill to local disk; fetches hit source disks and
+  the network).
+* :mod:`repro.engine.context` -- ``SparkContext`` equivalent tying the
+  pieces together.
+"""
+
+from repro.engine.conf import SparkConf
+from repro.engine.context import SparkContext
+
+__all__ = ["SparkConf", "SparkContext"]

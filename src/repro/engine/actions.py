@@ -1,0 +1,177 @@
+"""Actions: job-triggering operations on RDDs.
+
+An action defines (a) what each result task does with its partition and (b)
+how per-task results fold into the job result.  ``SaveAction`` additionally
+declares job output: result tasks write to the DFS, which marks the final
+stage I/O-bound for the static solution (paper section 4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.engine.sizing import SizeInfo
+
+
+class Action:
+    """Base class for actions."""
+
+    #: static-solution marker: does the result stage write job output?
+    writes_output = False
+
+    def process_partition(self, records: Optional[List[Any]], split: int) -> Any:
+        """Per-task work; ``records`` is None for synthetic datasets."""
+        raise NotImplementedError
+
+    def finalize(self, results: List[Any], rdd) -> Any:
+        """Fold per-task results into the job result."""
+        raise NotImplementedError
+
+    def output_bytes(self, rdd, split: int) -> float:
+        """Bytes the result task writes to the DFS (0 unless saving)."""
+        return 0.0
+
+
+class CollectAction(Action):
+    """Gather all records at the driver."""
+
+    def process_partition(self, records, split):
+        return records if records is not None else []
+
+    def finalize(self, results, rdd):
+        collected: List[Any] = []
+        for chunk in results:
+            collected.extend(chunk)
+        return collected
+
+
+class CountAction(Action):
+    """Count records; synthetic partitions count analytically."""
+
+    def process_partition(self, records, split):
+        return len(records) if records is not None else None
+
+    def finalize(self, results, rdd):
+        if all(r is not None for r in results):
+            return sum(results)
+        return rdd.total_size().records
+
+
+class ReduceAction(Action):
+    """Fold records with a binary function (materialised data only)."""
+
+    def __init__(self, f: Callable[[Any, Any], Any]) -> None:
+        self.f = f
+
+    def process_partition(self, records, split):
+        if records is None:
+            raise RuntimeError("reduce() requires a materialised dataset")
+        if not records:
+            return _EMPTY
+        out = records[0]
+        for item in records[1:]:
+            out = self.f(out, item)
+        return out
+
+    def finalize(self, results, rdd):
+        values = [r for r in results if r is not _EMPTY]
+        if not values:
+            raise ValueError("reduce() on an empty RDD")
+        out = values[0]
+        for item in values[1:]:
+            out = self.f(out, item)
+        return out
+
+
+class ForeachAction(Action):
+    """Apply a side-effecting function to every record."""
+
+    def __init__(self, f: Callable[[Any], None]) -> None:
+        self.f = f
+
+    def process_partition(self, records, split):
+        if records is not None:
+            for item in records:
+                self.f(item)
+        return None
+
+    def finalize(self, results, rdd):
+        return None
+
+
+class SaveAction(Action):
+    """``saveAsTextFile`` / ``saveAsHadoopFile``: write the RDD to the DFS."""
+
+    writes_output = True
+
+    def __init__(self, path: str, bytes_factor: float = 1.0) -> None:
+        if bytes_factor < 0:
+            raise ValueError("bytes_factor must be non-negative")
+        self.path = path
+        self.bytes_factor = bytes_factor
+
+    def output_bytes(self, rdd, split: int) -> float:
+        return rdd.partition_size(split).bytes * self.bytes_factor
+
+    def process_partition(self, records, split):
+        size = None
+        if records is not None:
+            from repro.engine.sizing import estimate_partition
+
+            size = estimate_partition(records)
+        return (split, records, size)
+
+    def finalize(self, results, rdd):
+        total_bytes = 0.0
+        parts = {}
+        materialized = True
+        for split, records, size in results:
+            if records is None:
+                materialized = False
+                total_bytes += rdd.partition_size(split).bytes * self.bytes_factor
+            else:
+                parts[split] = records
+                total_bytes += size.bytes * self.bytes_factor
+        records_out = None
+        if materialized:
+            records_out = [
+                record for split in sorted(parts) for record in parts[split]
+            ]
+        rdd.ctx.datasets.register_output(
+            self.path,
+            SizeInfo(rdd.total_size().records, total_bytes),
+            records=records_out,
+        )
+        rdd.ctx.dfs.create(self.path, total_bytes, overwrite=True)
+        return None
+
+
+class SketchAction(Action):
+    """The range-partitioner sampling pass (Terasort's stage 0).
+
+    Scans every record (the same volume as a full read) but keeps only a
+    small sample of keys per partition for deriving range bounds.
+    """
+
+    def __init__(self, sample_per_partition: int = 20) -> None:
+        self.sample_per_partition = sample_per_partition
+
+    def process_partition(self, records, split):
+        if records is None:
+            return None
+        keys = [key for key, _value in records]
+        if len(keys) <= self.sample_per_partition:
+            return keys
+        step = max(1, len(keys) // self.sample_per_partition)
+        return keys[::step][: self.sample_per_partition]
+
+    def finalize(self, results, rdd):
+        if any(r is None for r in results):
+            return None  # synthetic data: bounds are never consulted
+        sample: List[Any] = []
+        for keys in results:
+            sample.extend(keys)
+        return sample
+
+
+_EMPTY = object()

@@ -1,0 +1,58 @@
+"""In-memory RDD cache (the block-manager slice the paper's workloads need).
+
+Caching matters to the reproduction because PageRank caches its ``links``
+RDD: iteration stages read it from executor memory (no disk traffic), which
+is why only the ingest and output stages of PageRank are I/O-*marked* while
+the shuffle stages still hammer the disk through spills -- the paper's
+limitation L2.
+
+Materialised runs store real records; synthetic runs store only per-partition
+sizes so task planning knows the partition is memory-resident.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.engine.sizing import SizeInfo
+
+
+class CacheManager:
+    """Per-application cache of computed RDD partitions."""
+
+    def __init__(self) -> None:
+        self._data: Dict[Tuple[int, int], List[Any]] = {}
+        self._sizes: Dict[Tuple[int, int], SizeInfo] = {}
+
+    # -- data (materialised runs) ------------------------------------------
+
+    def put(self, rdd_id: int, split: int, records: List[Any]) -> None:
+        self._data[(rdd_id, split)] = records
+
+    def get(self, rdd_id: int, split: int) -> Optional[List[Any]]:
+        return self._data.get((rdd_id, split))
+
+    # -- sizes (synthetic runs) ----------------------------------------------
+
+    def put_size(self, rdd_id: int, split: int, size: SizeInfo) -> None:
+        self._sizes[(rdd_id, split)] = size
+
+    # -- queries -----------------------------------------------------------------
+
+    def has(self, rdd_id: int, split: int) -> bool:
+        """Is this partition memory-resident (data or size recorded)?"""
+        key = (rdd_id, split)
+        return key in self._data or key in self._sizes
+
+    def has_any(self, rdd_id: int) -> bool:
+        return any(key[0] == rdd_id for key in self._data) or any(
+            key[0] == rdd_id for key in self._sizes
+        )
+
+    def evict_rdd(self, rdd_id: int) -> None:
+        self._data = {k: v for k, v in self._data.items() if k[0] != rdd_id}
+        self._sizes = {k: v for k, v in self._sizes.items() if k[0] != rdd_id}
+
+    def clear(self) -> None:
+        self._data.clear()
+        self._sizes.clear()

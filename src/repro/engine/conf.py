@@ -1,0 +1,419 @@
+"""Configuration system with the full Spark 2.4 functional-parameter registry.
+
+The paper's Table 1 counts 117 functional parameters across seven categories
+(Shuffle 19, Compression & Serialization 16, Memory Management 14, Execution
+Behavior 14, Network 13, Scheduling 32, Dynamic Allocation 9) to motivate how
+unwieldy manual tuning is.  We register all of them with their Spark defaults
+so the table can be regenerated (``benchmarks/test_table1_parameters.py``);
+the engine wires the subset it needs and treats the rest as validated but
+inert configuration surface.
+
+The paper's own knobs live under the ``repro.adaptive.*`` namespace and are
+registered separately so they do not perturb the Table 1 counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional
+
+CATEGORY_SHUFFLE = "Shuffle"
+CATEGORY_COMPRESSION = "Compression and Serialization"
+CATEGORY_MEMORY = "Memory Management"
+CATEGORY_EXECUTION = "Execution Behavior"
+CATEGORY_NETWORK = "Network"
+CATEGORY_SCHEDULING = "Scheduling"
+CATEGORY_DYNALLOC = "Dynamic Allocation"
+CATEGORY_ADAPTIVE = "Self-adaptive Executors"
+
+FUNCTIONAL_CATEGORIES = (
+    CATEGORY_SHUFFLE,
+    CATEGORY_COMPRESSION,
+    CATEGORY_MEMORY,
+    CATEGORY_EXECUTION,
+    CATEGORY_NETWORK,
+    CATEGORY_SCHEDULING,
+    CATEGORY_DYNALLOC,
+)
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One registered configuration parameter."""
+
+    key: str
+    category: str
+    default: Any
+    description: str = ""
+
+    @property
+    def is_functional(self) -> bool:
+        return self.category in FUNCTIONAL_CATEGORIES
+
+
+def _spark_parameters() -> List[Parameter]:
+    """The 117 functional parameters of Spark 2.4.2 (paper Table 1)."""
+    p = Parameter
+    shuffle = [
+        p("spark.shuffle.compress", CATEGORY_SHUFFLE, True,
+          "Compress map output files"),
+        p("spark.shuffle.spill.compress", CATEGORY_SHUFFLE, True,
+          "Compress data spilled during shuffles"),
+        p("spark.shuffle.file.buffer", CATEGORY_SHUFFLE, "32k",
+          "In-memory buffer per shuffle file output stream"),
+        p("spark.reducer.maxSizeInFlight", CATEGORY_SHUFFLE, "48m",
+          "Max map output fetched simultaneously per reduce task"),
+        p("spark.reducer.maxReqsInFlight", CATEGORY_SHUFFLE, 2147483647,
+          "Max remote fetch requests in flight"),
+        p("spark.reducer.maxBlocksInFlightPerAddress", CATEGORY_SHUFFLE, 2147483647,
+          "Max blocks fetched per host and port"),
+        p("spark.shuffle.sort.bypassMergeThreshold", CATEGORY_SHUFFLE, 200,
+          "Partitions below which sort shuffle avoids merge-sorting"),
+        p("spark.shuffle.io.maxRetries", CATEGORY_SHUFFLE, 3,
+          "Fetch retries on IO exceptions"),
+        p("spark.shuffle.io.retryWait", CATEGORY_SHUFFLE, "5s",
+          "Wait between fetch retries"),
+        p("spark.shuffle.io.numConnectionsPerPeer", CATEGORY_SHUFFLE, 1,
+          "Connections reused across hosts"),
+        p("spark.shuffle.io.preferDirectBufs", CATEGORY_SHUFFLE, True,
+          "Prefer off-heap buffers in the shuffle transport"),
+        p("spark.shuffle.service.enabled", CATEGORY_SHUFFLE, False,
+          "External shuffle service"),
+        p("spark.shuffle.service.port", CATEGORY_SHUFFLE, 7337,
+          "External shuffle service port"),
+        p("spark.shuffle.service.index.cache.size", CATEGORY_SHUFFLE, "100m",
+          "Shuffle index cache size"),
+        p("spark.shuffle.maxChunksBeingTransferred", CATEGORY_SHUFFLE, 9223372036854775807,
+          "Max chunks transferred per shuffle fetch"),
+        p("spark.shuffle.memoryFraction", CATEGORY_SHUFFLE, 0.2,
+          "(legacy) fraction of heap for shuffle aggregation"),
+        p("spark.shuffle.accurateBlockThreshold", CATEGORY_SHUFFLE, 104857600,
+          "Accurately record block sizes above this threshold"),
+        p("spark.shuffle.registration.timeout", CATEGORY_SHUFFLE, 5000,
+          "Registration timeout with external shuffle service (ms)"),
+        p("spark.shuffle.registration.maxAttempts", CATEGORY_SHUFFLE, 3,
+          "Registration retries with external shuffle service"),
+    ]
+    compression = [
+        p("spark.broadcast.compress", CATEGORY_COMPRESSION, True,
+          "Compress broadcast variables"),
+        p("spark.checkpoint.compress", CATEGORY_COMPRESSION, False,
+          "Compress RDD checkpoints"),
+        p("spark.io.compression.codec", CATEGORY_COMPRESSION, "lz4",
+          "Codec for internal data"),
+        p("spark.io.compression.lz4.blockSize", CATEGORY_COMPRESSION, "32k",
+          "LZ4 block size"),
+        p("spark.io.compression.snappy.blockSize", CATEGORY_COMPRESSION, "32k",
+          "Snappy block size"),
+        p("spark.io.compression.zstd.level", CATEGORY_COMPRESSION, 1,
+          "Zstd compression level"),
+        p("spark.io.compression.zstd.bufferSize", CATEGORY_COMPRESSION, "32k",
+          "Zstd buffer size"),
+        p("spark.kryo.classesToRegister", CATEGORY_COMPRESSION, "",
+          "Classes registered with Kryo"),
+        p("spark.kryo.referenceTracking", CATEGORY_COMPRESSION, True,
+          "Track references to the same object"),
+        p("spark.kryo.registrationRequired", CATEGORY_COMPRESSION, False,
+          "Require Kryo registration"),
+        p("spark.kryo.registrator", CATEGORY_COMPRESSION, "",
+          "Custom Kryo registrators"),
+        p("spark.kryo.unsafe", CATEGORY_COMPRESSION, False,
+          "Use unsafe-based Kryo serializer"),
+        p("spark.kryoserializer.buffer.max", CATEGORY_COMPRESSION, "64m",
+          "Max Kryo buffer"),
+        p("spark.kryoserializer.buffer", CATEGORY_COMPRESSION, "64k",
+          "Initial Kryo buffer"),
+        p("spark.rdd.compress", CATEGORY_COMPRESSION, False,
+          "Compress serialized RDD partitions"),
+        p("spark.serializer", CATEGORY_COMPRESSION,
+          "org.apache.spark.serializer.JavaSerializer", "Serializer class"),
+    ]
+    memory = [
+        p("spark.memory.fraction", CATEGORY_MEMORY, 0.6,
+          "Heap fraction for execution and storage"),
+        p("spark.memory.storageFraction", CATEGORY_MEMORY, 0.5,
+          "Storage share immune to eviction"),
+        p("spark.memory.offHeap.enabled", CATEGORY_MEMORY, False,
+          "Use off-heap memory"),
+        p("spark.memory.offHeap.size", CATEGORY_MEMORY, 0,
+          "Off-heap memory bytes"),
+        p("spark.memory.useLegacyMode", CATEGORY_MEMORY, False,
+          "Legacy memory management"),
+        p("spark.storage.memoryFraction", CATEGORY_MEMORY, 0.6,
+          "(legacy) heap fraction for the cache"),
+        p("spark.storage.unrollFraction", CATEGORY_MEMORY, 0.2,
+          "(legacy) fraction for unrolling blocks"),
+        p("spark.storage.replication.proactive", CATEGORY_MEMORY, False,
+          "Proactively replenish lost cached replicas"),
+        p("spark.cleaner.periodicGC.interval", CATEGORY_MEMORY, "30min",
+          "Periodic driver GC trigger"),
+        p("spark.cleaner.referenceTracking", CATEGORY_MEMORY, True,
+          "Context cleaning"),
+        p("spark.cleaner.referenceTracking.blocking", CATEGORY_MEMORY, True,
+          "Block on cleanup tasks"),
+        p("spark.cleaner.referenceTracking.blocking.shuffle", CATEGORY_MEMORY, False,
+          "Block on shuffle cleanup tasks"),
+        p("spark.cleaner.referenceTracking.cleanCheckpoints", CATEGORY_MEMORY, False,
+          "Clean checkpoint files on GC"),
+        p("spark.broadcast.blockSize", CATEGORY_MEMORY, "4m",
+          "TorrentBroadcast block size"),
+    ]
+    execution = [
+        p("spark.broadcast.checksum", CATEGORY_EXECUTION, True,
+          "Checksum broadcast blocks"),
+        p("spark.executor.cores", CATEGORY_EXECUTION, None,
+          "Worker threads per executor; default = all virtual cores"),
+        p("spark.default.parallelism", CATEGORY_EXECUTION, None,
+          "Default partition count for shuffles"),
+        p("spark.executor.heartbeatInterval", CATEGORY_EXECUTION, "10s",
+          "Executor heartbeat period"),
+        p("spark.files.fetchTimeout", CATEGORY_EXECUTION, "60s",
+          "Timeout fetching files from the driver"),
+        p("spark.files.useFetchCache", CATEGORY_EXECUTION, True,
+          "Share file fetches between executors on a host"),
+        p("spark.files.overwrite", CATEGORY_EXECUTION, False,
+          "Overwrite fetched files"),
+        p("spark.files.maxPartitionBytes", CATEGORY_EXECUTION, 134217728,
+          "Max bytes per partition when reading files"),
+        p("spark.files.openCostInBytes", CATEGORY_EXECUTION, 4194304,
+          "Estimated cost to open a file"),
+        p("spark.hadoop.cloneConf", CATEGORY_EXECUTION, False,
+          "Clone Hadoop conf per task"),
+        p("spark.hadoop.validateOutputSpecs", CATEGORY_EXECUTION, True,
+          "Validate output specs on save"),
+        p("spark.storage.memoryMapThreshold", CATEGORY_EXECUTION, "2m",
+          "Min block size for memory mapping"),
+        p("spark.hadoop.mapreduce.fileoutputcommitter.algorithm.version",
+          CATEGORY_EXECUTION, 1, "File output committer algorithm"),
+        p("spark.executor.memory", CATEGORY_EXECUTION, "1g",
+          "Executor heap size"),
+    ]
+    network = [
+        p("spark.rpc.message.maxSize", CATEGORY_NETWORK, 128,
+          "Max RPC message size (MiB)"),
+        p("spark.blockManager.port", CATEGORY_NETWORK, "random",
+          "Block manager listen port"),
+        p("spark.driver.blockManager.port", CATEGORY_NETWORK, "random",
+          "Driver block manager port"),
+        p("spark.driver.bindAddress", CATEGORY_NETWORK, "",
+          "Driver bind address"),
+        p("spark.driver.host", CATEGORY_NETWORK, "localhost",
+          "Driver hostname"),
+        p("spark.driver.port", CATEGORY_NETWORK, "random",
+          "Driver listen port"),
+        p("spark.network.timeout", CATEGORY_NETWORK, "120s",
+          "Default network interaction timeout"),
+        p("spark.port.maxRetries", CATEGORY_NETWORK, 16,
+          "Port binding retries"),
+        p("spark.rpc.numRetries", CATEGORY_NETWORK, 3,
+          "RPC task retries"),
+        p("spark.rpc.retry.wait", CATEGORY_NETWORK, "3s",
+          "Wait between RPC retries"),
+        p("spark.rpc.askTimeout", CATEGORY_NETWORK, "120s",
+          "RPC ask timeout"),
+        p("spark.rpc.lookupTimeout", CATEGORY_NETWORK, "120s",
+          "RPC remote lookup timeout"),
+        p("spark.core.connection.ack.wait.timeout", CATEGORY_NETWORK, "60s",
+          "Ack timeout before giving up"),
+    ]
+    scheduling = [
+        p("spark.cores.max", CATEGORY_SCHEDULING, None,
+          "Max total cores for the application"),
+        p("spark.locality.wait", CATEGORY_SCHEDULING, "3s",
+          "Locality level downgrade wait"),
+        p("spark.locality.wait.node", CATEGORY_SCHEDULING, "3s",
+          "Node locality wait"),
+        p("spark.locality.wait.process", CATEGORY_SCHEDULING, "3s",
+          "Process locality wait"),
+        p("spark.locality.wait.rack", CATEGORY_SCHEDULING, "3s",
+          "Rack locality wait"),
+        p("spark.scheduler.maxRegisteredResourcesWaitingTime", CATEGORY_SCHEDULING,
+          "30s", "Max wait for resource registration"),
+        p("spark.scheduler.minRegisteredResourcesRatio", CATEGORY_SCHEDULING, 0.8,
+          "Min registered resource ratio before scheduling"),
+        p("spark.scheduler.mode", CATEGORY_SCHEDULING, "FIFO",
+          "Job scheduling mode"),
+        p("spark.scheduler.revive.interval", CATEGORY_SCHEDULING, "1s",
+          "Worker resource revival period"),
+        p("spark.scheduler.listenerbus.eventqueue.capacity", CATEGORY_SCHEDULING,
+          10000, "Listener bus event queue size"),
+        p("spark.blacklist.enabled", CATEGORY_SCHEDULING, False,
+          "Executor blacklisting"),
+        p("spark.blacklist.timeout", CATEGORY_SCHEDULING, "1h",
+          "Blacklist expiry"),
+        p("spark.blacklist.task.maxTaskAttemptsPerExecutor", CATEGORY_SCHEDULING, 1,
+          "Task retries per executor before blacklisting"),
+        p("spark.blacklist.task.maxTaskAttemptsPerNode", CATEGORY_SCHEDULING, 2,
+          "Task retries per node before blacklisting"),
+        p("spark.blacklist.stage.maxFailedTasksPerExecutor", CATEGORY_SCHEDULING, 2,
+          "Failed tasks per executor before stage blacklisting"),
+        p("spark.blacklist.stage.maxFailedExecutorsPerNode", CATEGORY_SCHEDULING, 2,
+          "Blacklisted executors per node before stage node blacklisting"),
+        p("spark.blacklist.application.maxFailedTasksPerExecutor",
+          CATEGORY_SCHEDULING, 2, "App-wide failed-task threshold"),
+        p("spark.blacklist.application.maxFailedExecutorsPerNode",
+          CATEGORY_SCHEDULING, 2, "App-wide failed-executor threshold"),
+        p("spark.blacklist.killBlacklistedExecutors", CATEGORY_SCHEDULING, False,
+          "Kill blacklisted executors"),
+        p("spark.blacklist.application.fetchFailure.enabled", CATEGORY_SCHEDULING,
+          False, "Blacklist on fetch failure"),
+        p("spark.speculation", CATEGORY_SCHEDULING, False,
+          "Speculative execution"),
+        p("spark.speculation.interval", CATEGORY_SCHEDULING, "100ms",
+          "Speculation check period"),
+        p("spark.speculation.multiplier", CATEGORY_SCHEDULING, 1.5,
+          "Slowness multiple for speculation"),
+        p("spark.speculation.quantile", CATEGORY_SCHEDULING, 0.75,
+          "Completion quantile before speculation"),
+        p("spark.task.cpus", CATEGORY_SCHEDULING, 1,
+          "Cores per task"),
+        p("spark.task.maxFailures", CATEGORY_SCHEDULING, 4,
+          "Task failures before job failure"),
+        p("spark.task.reaper.enabled", CATEGORY_SCHEDULING, False,
+          "Monitor killed tasks"),
+        p("spark.task.reaper.pollingInterval", CATEGORY_SCHEDULING, "10s",
+          "Killed-task polling period"),
+        p("spark.task.reaper.threadDump", CATEGORY_SCHEDULING, True,
+          "Thread dumps during task reaping"),
+        p("spark.task.reaper.killTimeout", CATEGORY_SCHEDULING, -1,
+          "JVM kill deadline for unreaped tasks"),
+        p("spark.stage.maxConsecutiveAttempts", CATEGORY_SCHEDULING, 4,
+          "Stage attempts before abort"),
+        p("spark.job.interruptOnCancel", CATEGORY_SCHEDULING, False,
+          "Interrupt task threads on job cancel"),
+    ]
+    dynalloc = [
+        p("spark.dynamicAllocation.enabled", CATEGORY_DYNALLOC, False,
+          "Scale executor count with load"),
+        p("spark.dynamicAllocation.executorIdleTimeout", CATEGORY_DYNALLOC, "60s",
+          "Idle executor removal timeout"),
+        p("spark.dynamicAllocation.cachedExecutorIdleTimeout", CATEGORY_DYNALLOC,
+          "infinity", "Idle timeout for executors with cached blocks"),
+        p("spark.dynamicAllocation.initialExecutors", CATEGORY_DYNALLOC, None,
+          "Initial executor count"),
+        p("spark.dynamicAllocation.maxExecutors", CATEGORY_DYNALLOC, "infinity",
+          "Upper executor bound"),
+        p("spark.dynamicAllocation.minExecutors", CATEGORY_DYNALLOC, 0,
+          "Lower executor bound"),
+        p("spark.dynamicAllocation.executorAllocationRatio", CATEGORY_DYNALLOC, 1.0,
+          "Executors per pending task ratio"),
+        p("spark.dynamicAllocation.schedulerBacklogTimeout", CATEGORY_DYNALLOC, "1s",
+          "Backlog duration before requesting executors"),
+        p("spark.dynamicAllocation.sustainedSchedulerBacklogTimeout",
+          CATEGORY_DYNALLOC, "1s", "Backlog duration for subsequent requests"),
+    ]
+    return shuffle + compression + memory + execution + network + scheduling + dynalloc
+
+
+def _adaptive_parameters() -> List[Parameter]:
+    """This project's own knobs (paper section 5 + simulator controls)."""
+    p = Parameter
+    return [
+        p("repro.adaptive.cmin", CATEGORY_ADAPTIVE, 2,
+          "Hill-climbing start: minimum thread-pool size (paper: 2, since a "
+          "single thread almost never wins)"),
+        p("repro.adaptive.cmax", CATEGORY_ADAPTIVE, None,
+          "Hill-climbing ceiling; default = virtual core count"),
+        p("repro.adaptive.tolerance", CATEGORY_ADAPTIVE, 2.0,
+          "Hysteresis on the congestion index: keep climbing while "
+          "zeta_j <= tolerance * zeta_(j/2)"),
+        p("repro.static.io.threads", CATEGORY_ADAPTIVE, 8,
+          "Static solution: thread count for I/O-marked stages"),
+        p("repro.task.chunk.bytes", CATEGORY_ADAPTIVE, 8 * 1024 * 1024,
+          "I/O request granularity for task phase interleaving"),
+        p("repro.task.max.chunks", CATEGORY_ADAPTIVE, 64,
+          "Upper bound on chunks per task"),
+        p("repro.shuffle.read.disk.fraction", CATEGORY_ADAPTIVE, 0.8,
+          "Fraction of shuffle fetches served from source disk rather than "
+          "the OS page cache"),
+        p("repro.output.replication", CATEGORY_ADAPTIVE, 1,
+          "Replication factor for job output files"),
+        p("repro.control.latency", CATEGORY_ADAPTIVE, 0.002,
+          "Driver <-> executor message latency (seconds)"),
+        p("repro.cpu.shuffle.write.per.byte", CATEGORY_ADAPTIVE, 6.0e-8,
+          "CPU seconds per shuffle byte serialised + compressed on write"),
+        p("repro.cpu.shuffle.read.per.byte", CATEGORY_ADAPTIVE, 2.5e-8,
+          "CPU seconds per shuffle byte decompressed + deserialised on fetch"),
+        p("repro.cpu.output.write.per.byte", CATEGORY_ADAPTIVE, 3.0e-8,
+          "CPU seconds per output byte formatted for the DFS"),
+    ]
+
+
+class SparkConf:
+    """Typed configuration with a parameter registry.
+
+    Mirrors Spark's ``SparkConf``: ``set``/``get`` key-value pairs, but every
+    key must be registered, which both documents the surface (Table 1) and
+    catches typos -- the paper's point being that 117 knobs are too many to
+    tune by hand.
+    """
+
+    _REGISTRY: Dict[str, Parameter] = {
+        param.key: param for param in _spark_parameters() + _adaptive_parameters()
+    }
+
+    def __init__(self, overrides: Optional[Dict[str, Any]] = None) -> None:
+        self._values: Dict[str, Any] = {}
+        if overrides:
+            for key, value in overrides.items():
+                self.set(key, value)
+
+    # -- registry introspection ---------------------------------------------
+
+    @classmethod
+    def registry(cls) -> List[Parameter]:
+        return list(cls._REGISTRY.values())
+
+    @classmethod
+    def functional_parameters(cls) -> List[Parameter]:
+        """The parameters counted in the paper's Table 1."""
+        return [param for param in cls._REGISTRY.values() if param.is_functional]
+
+    @classmethod
+    def parameters_in_category(cls, category: str) -> List[Parameter]:
+        return [p for p in cls._REGISTRY.values() if p.category == category]
+
+    @classmethod
+    def category_counts(cls) -> Dict[str, int]:
+        """Category -> parameter count; regenerates Table 1."""
+        counts = {category: 0 for category in FUNCTIONAL_CATEGORIES}
+        for param in cls.functional_parameters():
+            counts[param.category] += 1
+        return counts
+
+    @classmethod
+    def describe(cls, key: str) -> Parameter:
+        try:
+            return cls._REGISTRY[key]
+        except KeyError:
+            raise KeyError(f"unknown configuration parameter: {key!r}") from None
+
+    # -- values ---------------------------------------------------------------
+
+    def set(self, key: str, value: Any) -> "SparkConf":
+        if key not in self._REGISTRY:
+            raise KeyError(
+                f"unknown configuration parameter: {key!r}; "
+                "see SparkConf.registry() for the known surface"
+            )
+        self._values[key] = value
+        return self
+
+    def get(self, key: str, default: Any = None) -> Any:
+        param = self.describe(key)
+        if key in self._values:
+            return self._values[key]
+        if default is not None:
+            return default
+        return param.default
+
+    def is_set(self, key: str) -> bool:
+        return key in self._values
+
+    def explicit_items(self) -> Iterable[tuple]:
+        return tuple(sorted(self._values.items()))
+
+    def copy(self) -> "SparkConf":
+        clone = SparkConf()
+        clone._values = dict(self._values)
+        return clone

@@ -1,0 +1,156 @@
+"""``SparkContext`` analogue: the application entry point.
+
+Wires a cluster, DFS, dataset catalog, executors, schedulers, monitoring and
+a pool-size policy into one application, and runs jobs to completion on the
+simulated timeline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.engine.actions import Action, SketchAction
+from repro.engine.cache import CacheManager
+from repro.engine.conf import SparkConf
+from repro.engine.dag import DAGScheduler
+from repro.engine.datasets import DatasetCatalog
+from repro.engine.executor import Executor
+from repro.engine.metrics import RunRecorder
+from repro.engine.policy import ExecutorPolicy
+from repro.engine.rdd import HadoopRDD, ParallelizedRDD, RDD
+from repro.engine.scheduler import TaskScheduler
+from repro.engine.shuffle import MapOutputTracker
+from repro.engine.sizing import SizeInfo, estimate_size
+from repro.engine.stage import Stage
+from repro.storage.dfs import DistributedFileSystem
+
+PolicyFactory = Callable[[Executor], ExecutorPolicy]
+
+
+class SparkContext:
+    """One application on one cluster.
+
+    ``policy_factory`` creates the thread-pool policy for each executor --
+    the seam through which the paper's three systems (default, static,
+    self-adaptive) plug in.
+    """
+
+    def __init__(
+        self,
+        cluster: Optional[Cluster] = None,
+        conf: Optional[SparkConf] = None,
+        policy_factory: Optional[PolicyFactory] = None,
+        monitoring_interval: float = 1.0,
+    ) -> None:
+        self.cluster = cluster if cluster is not None else Cluster(ClusterSpec())
+        self.sim = self.cluster.sim
+        self.streams = self.cluster.streams
+        self.conf = conf if conf is not None else SparkConf()
+        self.dfs = DistributedFileSystem(self.cluster.node_ids)
+        self.datasets = DatasetCatalog()
+        self.map_output_tracker = MapOutputTracker()
+        self.cache_manager = CacheManager()
+        self.recorder = RunRecorder()
+        # Imported here to avoid a package-level cycle: repro.monitoring
+        # reads engine metrics types, and this module wires monitoring in.
+        from repro.monitoring import MonitoringService
+
+        self.monitoring = MonitoringService(self, interval=monitoring_interval)
+        self.executors: List[Executor] = [
+            Executor(self, node, executor_id)
+            for executor_id, node in enumerate(self.cluster.nodes)
+        ]
+        self.scheduler = TaskScheduler(self)
+        self.dag = DAGScheduler(self)
+        self._next_rdd_id = 0
+        if policy_factory is not None:
+            self.set_policy_factory(policy_factory)
+
+    # -- wiring ------------------------------------------------------------------
+
+    def set_policy_factory(self, factory: PolicyFactory) -> None:
+        for executor in self.executors:
+            executor.policy = factory(executor)
+
+    def new_rdd_id(self) -> int:
+        rdd_id = self._next_rdd_id
+        self._next_rdd_id += 1
+        return rdd_id
+
+    @property
+    def default_parallelism(self) -> int:
+        configured = self.conf.get("spark.default.parallelism")
+        if configured:
+            return int(configured)
+        return self.cluster.total_cores
+
+    # -- dataset creation ---------------------------------------------------------
+
+    def write_text_file(self, path: str, lines: Sequence[Any]) -> None:
+        """Store real records as a DFS file (materialised dataset)."""
+        lines = list(lines)
+        size = SizeInfo(records=float(len(lines)), bytes=estimate_size(lines))
+        self.datasets.register_input(path, size, records=lines)
+        self.dfs.create(path, size.bytes)
+
+    def register_synthetic_file(self, path: str, size_bytes: float,
+                                num_records: float) -> None:
+        """Declare a benchmark-scale input that is never materialised."""
+        if size_bytes < 0 or num_records < 0:
+            raise ValueError("synthetic file sizes must be non-negative")
+        self.datasets.register_input(
+            path, SizeInfo(records=num_records, bytes=size_bytes)
+        )
+        self.dfs.create(path, size_bytes)
+
+    # -- RDD creation -----------------------------------------------------------------
+
+    def text_file(self, path: str, num_partitions: Optional[int] = None,
+                  **annotations: float) -> HadoopRDD:
+        return HadoopRDD(self, path, num_partitions, **annotations)
+
+    textFile = text_file
+
+    def parallelize(self, data: Sequence[Any],
+                    num_partitions: Optional[int] = None) -> ParallelizedRDD:
+        if num_partitions is None:
+            num_partitions = min(len(data), self.default_parallelism) or 1
+        return ParallelizedRDD(self, data, num_partitions)
+
+    # -- job execution -------------------------------------------------------------------
+
+    def run_job(self, rdd: RDD, action: Action) -> Any:
+        """Run all jobs needed for ``action`` (sampling pre-jobs included)."""
+        for dep in self.dag.unbounded_range_partitioners(rdd):
+            sample = self._execute_job(dep.rdd, SketchAction())
+            dep.partitioner.set_bounds(sample if sample is not None else [])
+        return self._execute_job(rdd, action)
+
+    def _execute_job(self, rdd: RDD, action: Action) -> Any:
+        stages = self.dag.build_stages(rdd, action)
+
+        def job():
+            results = None
+            for stage in stages:
+                results = yield self.scheduler.run_stage(stage)
+            return results
+
+        handle = self.sim.process(job(), name=f"job-{rdd.name}")
+        self.sim.run()
+        if not handle.triggered:
+            raise RuntimeError(
+                f"job on {rdd.name} deadlocked: the event queue drained with "
+                f"{len(stages)} stages planned but the job incomplete"
+            )
+        return action.finalize(handle.value, rdd)
+
+    # -- reporting ------------------------------------------------------------------------
+
+    @property
+    def total_runtime(self) -> float:
+        return self.recorder.total_runtime
+
+    def executed_stages(self) -> List[Stage]:
+        # The recorder holds records; callers usually want those instead.
+        raise NotImplementedError("use ctx.recorder.stages")

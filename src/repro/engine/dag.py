@@ -1,0 +1,123 @@
+"""The DAG scheduler: cutting RDD lineage into stages.
+
+Exactly as in Spark: walking back from the action's RDD, every
+:class:`ShuffleDependency` starts a new (shuffle-map) stage; narrow
+dependencies stay inside the current stage.  Map stages are memoised by
+shuffle id so iterative programs (PageRank) reuse the same stage object and
+already-computed shuffles are skipped on later jobs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.engine.actions import Action
+from repro.engine.rdd import NarrowDependency, RDD, ShuffleDependency
+from repro.engine.partitioner import RangePartitioner
+from repro.engine.stage import Stage
+
+
+class DAGScheduler:
+    """Builds the ordered stage list for a job."""
+
+    def __init__(self, ctx) -> None:
+        self.ctx = ctx
+        self._next_stage_id = 0
+        self._shuffle_stages: Dict[int, Stage] = {}
+
+    def _new_stage_id(self) -> int:
+        stage_id = self._next_stage_id
+        self._next_stage_id += 1
+        return stage_id
+
+    # -- stage graph construction ------------------------------------------------
+
+    def build_stages(self, rdd: RDD, action: Action) -> List[Stage]:
+        """All stages required to run ``action`` on ``rdd``, in execution order.
+
+        Map stages whose shuffle output is already complete are omitted
+        (Spark's "skipped stages").
+        """
+        parents = self._parent_stages(rdd)
+        result_stage = Stage(
+            self._new_stage_id(), rdd, parents=parents, action=action
+        )
+        ordered: List[Stage] = []
+        seen: set = set()
+
+        def visit(stage: Stage) -> None:
+            if stage.stage_id in seen:
+                return
+            seen.add(stage.stage_id)
+            for parent in stage.parents:
+                visit(parent)
+            ordered.append(stage)
+
+        visit(result_stage)
+        tracker = self.ctx.map_output_tracker
+        return [
+            stage
+            for stage in ordered
+            if stage.is_result_stage
+            or not tracker.is_complete(stage.shuffle_dep.shuffle_id)
+        ]
+
+    def _parent_stages(self, rdd: RDD) -> List[Stage]:
+        """Map stages for every shuffle dependency reachable narrowly."""
+        stages: List[Stage] = []
+        visited: set = set()
+
+        def visit(current: RDD) -> None:
+            if current.id in visited:
+                return
+            visited.add(current.id)
+            if current.cached and self.ctx.cache_manager.has_any(current.id):
+                return  # served from cache; upstream lineage is not needed
+            for dep in current.deps:
+                if isinstance(dep, ShuffleDependency):
+                    stage = self._stage_for_shuffle(dep)
+                    if all(s is not stage for s in stages):
+                        stages.append(stage)
+                elif isinstance(dep, NarrowDependency):
+                    visit(dep.rdd)
+
+        visit(rdd)
+        return stages
+
+    def _stage_for_shuffle(self, dep: ShuffleDependency) -> Stage:
+        if dep.shuffle_id not in self._shuffle_stages:
+            parents = self._parent_stages(dep.rdd)
+            self._shuffle_stages[dep.shuffle_id] = Stage(
+                self._new_stage_id(), dep.rdd, parents=parents, shuffle_dep=dep
+            )
+        return self._shuffle_stages[dep.shuffle_id]
+
+    # -- range-partitioner sampling --------------------------------------------------
+
+    def unbounded_range_partitioners(self, rdd: RDD) -> List[ShuffleDependency]:
+        """Shuffle deps whose RangePartitioner still needs its sampling job.
+
+        Spark computes range bounds with a separate job over the parent RDD
+        before the shuffle runs -- Terasort's stage 0 in the paper.
+        """
+        found: List[ShuffleDependency] = []
+        visited: set = set()
+
+        def visit(current: RDD) -> None:
+            if current.id in visited:
+                return
+            visited.add(current.id)
+            if current.cached and self.ctx.cache_manager.has_any(current.id):
+                return
+            for dep in current.deps:
+                if isinstance(dep, ShuffleDependency):
+                    partitioner = dep.partitioner
+                    if isinstance(partitioner, RangePartitioner):
+                        if not partitioner.has_bounds and not (
+                            self.ctx.map_output_tracker.is_complete(dep.shuffle_id)
+                        ):
+                            found.append(dep)
+                visit(dep.rdd)
+
+        visit(rdd)
+        return found

@@ -1,0 +1,83 @@
+"""Dataset catalog: what the bytes in the DFS *are*.
+
+The DFS tracks placement; this catalog tracks content.  A dataset is either
+
+* **materialised** -- real Python records are stored, tasks can compute on
+  them (tests, examples); or
+* **synthetic** -- only record/byte counts are known (benchmark-scale inputs
+  like the 120 GiB Terasort file); tasks simulate I/O and CPU but never see
+  records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.engine.sizing import SizeInfo
+
+
+@dataclass
+class DatasetInfo:
+    """Content description of one DFS path."""
+
+    path: str
+    size: SizeInfo
+    data: Optional[List[Any]] = None
+
+    @property
+    def records_available(self) -> bool:
+        return self.data is not None
+
+    @property
+    def records(self) -> float:
+        return self.size.records
+
+    def partition_records(self, split: int, num_partitions: int) -> Optional[List[Any]]:
+        """The records of one partition, or None for synthetic datasets.
+
+        Partitions are contiguous slices, matching how line-oriented input
+        formats split files.
+        """
+        if self.data is None:
+            return None
+        total = len(self.data)
+        start = split * total // num_partitions
+        end = (split + 1) * total // num_partitions
+        return self.data[start:end]
+
+
+class DatasetCatalog:
+    """All known dataset contents, keyed by DFS path."""
+
+    def __init__(self) -> None:
+        self._datasets: Dict[str, DatasetInfo] = {}
+
+    def register_input(self, path: str, size: SizeInfo,
+                       records: Optional[List[Any]] = None) -> DatasetInfo:
+        if path in self._datasets:
+            raise FileExistsError(f"dataset already registered: {path}")
+        if records is not None and len(records) != int(size.records):
+            raise ValueError(
+                f"record count mismatch for {path}: declared {size.records}, "
+                f"got {len(records)}"
+            )
+        info = DatasetInfo(path=path, size=size, data=records)
+        self._datasets[path] = info
+        return info
+
+    def register_output(self, path: str, size: SizeInfo,
+                        records: Optional[List[Any]] = None) -> DatasetInfo:
+        """Outputs may overwrite previous runs' outputs."""
+        info = DatasetInfo(path=path, size=size, data=records)
+        self._datasets[path] = info
+        return info
+
+    def describe(self, path: str) -> DatasetInfo:
+        try:
+            return self._datasets[path]
+        except KeyError:
+            raise FileNotFoundError(f"no dataset registered for {path}") from None
+
+    def exists(self, path: str) -> bool:
+        return path in self._datasets

@@ -1,0 +1,343 @@
+"""The executor: a resizable worker pool bound to one node.
+
+This is the paper's *managed element*.  The executor runs tasks as simulated
+processes that interleave I/O requests (against its node's disk and NIC) and
+CPU bursts (against its node's core bank).  It keeps the two sensor counters
+the MAPE-K monitor reads -- accumulated I/O wait time (the strace/epoll
+analogue, ε) and task I/O bytes (the Spark-metrics analogue behind µ) -- and
+applies pool-size decisions from its attached policy, notifying the driver
+through the extended message protocol whenever the pool is resized.
+
+Pool-size enforcement is cooperative, exactly as in the paper's
+implementation: the driver stops assigning new tasks beyond the pool size;
+already-running tasks always finish.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.engine.metrics import PoolEvent, StageRecord, TaskMetrics
+from repro.engine.policy import DefaultPolicy, ExecutorPolicy
+from repro.engine.shuffle import MapStatus
+from repro.engine.sizing import SizeInfo, estimate_partition
+from repro.engine.stage import Stage
+from repro.engine.task import Task, TaskFinished, PoolResized
+
+
+def _round_robin(lists: List[List[Tuple]]) -> List[Tuple]:
+    """Merge several chunk lists by taking one element from each in turn."""
+    merged: List[Tuple] = []
+    cursors = [0] * len(lists)
+    remaining = sum(len(chunks) for chunks in lists)
+    while remaining:
+        for index, chunks in enumerate(lists):
+            if cursors[index] < len(chunks):
+                merged.append(chunks[cursors[index]])
+                cursors[index] += 1
+                remaining -= 1
+    return merged
+
+
+@dataclass(frozen=True)
+class _IoOp:
+    """One physical I/O operation of a task, before chunking."""
+
+    kind: str  # dfs_read | shuffle_fetch | shuffle_write | dfs_write
+    size: float
+    src_node: Optional[int] = None  # for remote reads / fetches
+
+
+class Executor:
+    """One executor per node, as in the paper's deployment."""
+
+    def __init__(self, ctx, node, executor_id: int) -> None:
+        self.ctx = ctx
+        self.node = node
+        self.executor_id = executor_id
+        configured = ctx.conf.get("spark.executor.cores")
+        self.default_pool_size = int(configured) if configured else node.cores
+        self.pool_size = self.default_pool_size
+        self.policy: ExecutorPolicy = DefaultPolicy()
+        self.running = 0
+        # MAPE-K sensor counters (monotonically increasing; the monitor
+        # diffs snapshots per interval).
+        self.io_wait_accum = 0.0
+        self.io_bytes_accum = 0.0
+        self.tasks_completed_total = 0
+        self.stage_tasks_completed = 0
+        self.current_stage: Optional[Stage] = None
+        self._record: Optional[StageRecord] = None
+
+    # -- sensors ---------------------------------------------------------------
+
+    def sensor_snapshot(self) -> Tuple[float, float, int]:
+        """(accumulated I/O wait, accumulated task I/O bytes, tasks done)."""
+        return (self.io_wait_accum, self.io_bytes_accum, self.stage_tasks_completed)
+
+    @property
+    def stage_record(self) -> Optional[StageRecord]:
+        """The metrics record of the stage currently running, if any."""
+        return self._record
+
+    # -- stage lifecycle ----------------------------------------------------------
+
+    def begin_stage(self, stage: Stage, record: StageRecord) -> int:
+        """Driver RPC at stage start; returns the chosen initial pool size."""
+        self.current_stage = stage
+        self._record = record
+        self.stage_tasks_completed = 0
+        size = self.policy.on_stage_start(self, stage)
+        self._apply_pool_size(size, reason="stage-start")
+        return self.pool_size
+
+    def _apply_pool_size(self, size: int, reason: str) -> None:
+        size = max(1, min(int(size), self.node.cores))
+        self.pool_size = size
+        if self._record is not None:
+            self._record.pool_events.append(
+                PoolEvent(
+                    time=self.ctx.sim.now,
+                    executor_id=self.executor_id,
+                    stage_id=self._record.stage_id,
+                    pool_size=size,
+                    reason=reason,
+                )
+            )
+
+    # -- task execution ------------------------------------------------------------
+
+    def launch_task(self, task: Task) -> None:
+        """Driver -> executor: run one task (arrives via the control channel)."""
+        self.running += 1
+        self.ctx.sim.process(
+            self._run_task(task),
+            name=f"task-{task.stage.stage_id}.{task.partition}@ex{self.executor_id}",
+        )
+
+    def _run_task(self, task: Task):
+        sim = self.ctx.sim
+        plan = task.plan
+        launch_time = sim.now
+        io_wait = 0.0
+        ops = self._build_ops(plan)
+        chunks = self._chunk_ops(ops, plan.cpu_seconds,
+                                 interleave_offset=task.partition)
+        for kind, amount, src_node in chunks:
+            if kind == "cpu":
+                yield self.node.cpu.submit(amount, tag="task").event
+            else:
+                start = sim.now
+                yield self._io_event(kind, amount, src_node)
+                wait = sim.now - start
+                io_wait += wait
+                self.io_wait_accum += wait
+                self.io_bytes_accum += amount
+        metrics = TaskMetrics(
+            stage_id=task.stage.stage_id,
+            partition=task.partition,
+            executor_id=self.executor_id,
+            node_id=self.node.node_id,
+            launch_time=launch_time,
+            finish_time=sim.now,
+            cpu_seconds=plan.cpu_seconds,
+            io_wait_seconds=io_wait,
+            disk_read_bytes=sum(r.size for r in plan.dfs_reads),
+            disk_write_bytes=plan.shuffle_write_bytes + plan.output_write_bytes,
+            shuffle_read_bytes=sum(s for _n, s in plan.shuffle_fetches),
+            shuffle_write_bytes=plan.shuffle_write_bytes,
+            output_write_bytes=plan.output_write_bytes,
+            pool_size_at_launch=self.pool_size,
+        )
+        map_status, result = self._finalize_task(task)
+        self.running -= 1
+        self.tasks_completed_total += 1
+        self.stage_tasks_completed += 1
+        if self._record is not None:
+            self._record.tasks.append(metrics)
+        decision = self.policy.on_task_complete(self, task.stage, metrics)
+        if decision is not None and decision != self.pool_size:
+            self._apply_pool_size(decision, reason="adapt")
+            self.ctx.scheduler.channel.send(
+                self.ctx.scheduler.handle_message,
+                PoolResized(self.executor_id, self.pool_size),
+            )
+        self.ctx.scheduler.channel.send(
+            self.ctx.scheduler.handle_message,
+            TaskFinished(self.executor_id, task, metrics, map_status, result),
+        )
+
+    # -- physical plan --------------------------------------------------------------
+
+    def _build_ops(self, plan) -> List[_IoOp]:
+        ops: List[_IoOp] = []
+        for read in plan.dfs_reads:
+            if not read.preferred_nodes or self.node.node_id in read.preferred_nodes:
+                ops.append(_IoOp("dfs_read", read.size))
+            else:
+                ops.append(_IoOp("dfs_read", read.size, src_node=read.preferred_nodes[0]))
+        for src_node, size in plan.shuffle_fetches:
+            ops.append(_IoOp("shuffle_fetch", size, src_node=src_node))
+        if plan.shuffle_write_bytes > 0:
+            ops.append(_IoOp("shuffle_write", plan.shuffle_write_bytes))
+        if plan.output_write_bytes > 0:
+            ops.append(_IoOp("dfs_write", plan.output_write_bytes))
+        return ops
+
+    def _chunk_ops(self, ops: List[_IoOp], cpu_seconds: float,
+                   interleave_offset: int = 0) -> List[Tuple]:
+        """Interleave chunked I/O with CPU bursts.
+
+        Real tasks stream records: read a buffer, process it, read the next.
+        Chunking is what lets other threads use the disk while this task
+        computes -- the interleaving from which the thread-count optimum
+        emerges (DESIGN.md section 5).
+
+        Read chunks from different sources are merged round-robin starting at
+        ``interleave_offset`` (Spark randomises shuffle fetch order for the
+        same reason: otherwise every reducer would hit map outputs in the
+        same source order and convoy on one disk at a time).  Writes happen
+        after reads, as they do in map (read input -> spill) and result
+        (fetch -> sort -> save) tasks alike.
+        """
+        chunk_bytes = float(self.ctx.conf.get("repro.task.chunk.bytes"))
+        max_chunks = int(self.ctx.conf.get("repro.task.max.chunks"))
+        total_io = sum(op.size for op in ops)
+        if total_io <= 0:
+            return [("cpu", cpu_seconds, None)] if cpu_seconds > 0 else []
+        effective_chunk = max(chunk_bytes, total_io / max_chunks)
+        # Chunk sizes are jittered (totals preserved) so that identically
+        # shaped tasks launched together drift out of phase, as real threads
+        # do.  Without this, same-size tasks alternate I/O and CPU in perfect
+        # lockstep and the disk idles during the synchronised CPU bursts.
+        jitter = self.ctx.streams.stream("chunk-jitter")
+
+        def chunks_of(op: _IoOp) -> List[Tuple]:
+            count = max(1, int(math.ceil(op.size / effective_chunk)))
+            weights = [jitter.uniform(0.6, 1.4) for _ in range(count)]
+            scale = op.size / sum(weights)
+            return [(op.kind, w * scale, op.src_node) for w in weights]
+
+        read_lists = [
+            chunks_of(op) for op in ops
+            if op.kind in ("dfs_read", "shuffle_fetch")
+        ]
+        write_lists = [
+            chunks_of(op) for op in ops
+            if op.kind in ("shuffle_write", "dfs_write")
+        ]
+        if read_lists:
+            offset = interleave_offset % len(read_lists)
+            read_lists = read_lists[offset:] + read_lists[:offset]
+        io_chunks = _round_robin(read_lists) + _round_robin(write_lists)
+        cpu_weights = [jitter.uniform(0.6, 1.4) for _ in io_chunks]
+        cpu_scale = cpu_seconds / sum(cpu_weights)
+        pieces: List[Tuple] = []
+        for chunk, weight in zip(io_chunks, cpu_weights):
+            pieces.append(chunk)
+            if cpu_seconds > 0:
+                pieces.append(("cpu", weight * cpu_scale, None))
+        return pieces
+
+    def _io_event(self, kind: str, size: float, src_node: Optional[int]):
+        sim = self.ctx.sim
+        my_node = self.node
+        if kind == "dfs_read":
+            if src_node is None:
+                return my_node.disk.request(size, "read")
+            remote_disk = self.ctx.cluster.node(src_node).disk
+            return sim.all_of(
+                [
+                    remote_disk.request(size, "read"),
+                    self.ctx.cluster.fabric.transfer(
+                        src_node, my_node.node_id, size, tag="dfs"
+                    ),
+                ]
+            )
+        if kind == "shuffle_fetch":
+            disk_fraction = float(
+                self.ctx.conf.get("repro.shuffle.read.disk.fraction")
+            )
+            src_disk = self.ctx.cluster.node(src_node).disk
+            events = []
+            if disk_fraction > 0:
+                events.append(src_disk.request(size * disk_fraction, "read"))
+            if src_node != my_node.node_id:
+                events.append(
+                    self.ctx.cluster.fabric.transfer(
+                        src_node, my_node.node_id, size, tag="shuffle"
+                    )
+                )
+            if not events:
+                done = sim.event()
+                done.succeed(size)
+                return done
+            return sim.all_of(events)
+        if kind == "shuffle_write":
+            return my_node.disk.request(size, "write")
+        if kind == "dfs_write":
+            replication = int(self.ctx.conf.get("repro.output.replication"))
+            events = [my_node.disk.request(size, "write")]
+            num_nodes = self.ctx.cluster.num_nodes
+            for offset in range(1, min(replication, num_nodes)):
+                replica = (my_node.node_id + offset) % num_nodes
+                events.append(
+                    self.ctx.cluster.fabric.transfer(
+                        my_node.node_id, replica, size, tag="replica"
+                    )
+                )
+                events.append(
+                    self.ctx.cluster.node(replica).disk.request(size, "write")
+                )
+            return sim.all_of(events)
+        raise ValueError(f"unknown I/O op kind: {kind!r}")
+
+    # -- data-plane completion work -----------------------------------------------
+
+    def _finalize_task(self, task: Task):
+        """Produce the map status (map tasks) or action result (result tasks)."""
+        stage = task.stage
+        if stage.shuffle_dep is not None:
+            return self._map_output(stage, task.partition), None
+        records = (
+            stage.rdd.iterator(task.partition) if stage.rdd.is_materialized else None
+        )
+        result = stage.action.process_partition(records, task.partition)
+        return None, result
+
+    def _map_output(self, stage: Stage, split: int) -> MapStatus:
+        dep = stage.shuffle_dep
+        num_reducers = dep.partitioner.num_partitions
+        if stage.rdd.is_materialized:
+            records = stage.rdd.iterator(split)
+            if dep.map_side_combine and dep.combiner is not None:
+                combined = {}
+                for key, value in records:
+                    if key in combined:
+                        combined[key] = dep.combiner(combined[key], value)
+                    else:
+                        combined[key] = value
+                records = list(combined.items())
+            buckets: List[List] = [[] for _ in range(num_reducers)]
+            for key, value in records:
+                buckets[dep.partitioner.partition(key)].append((key, value))
+            return MapStatus(
+                map_id=split,
+                node_id=self.node.node_id,
+                reducer_sizes=[estimate_partition(bucket) for bucket in buckets],
+                real_buckets=buckets,
+            )
+        return MapStatus.uniform(
+            map_id=split,
+            node_id=self.node.node_id,
+            num_reducers=num_reducers,
+            total=dep.map_output_size(split),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Executor(id={self.executor_id}, node={self.node.node_id}, "
+            f"pool={self.pool_size}, running={self.running})"
+        )

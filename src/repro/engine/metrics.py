@@ -1,0 +1,177 @@
+"""Run-time metrics: task, stage, and run-level records.
+
+These records are what the paper's figures are drawn from: per-stage
+runtimes (Figs. 2/4/8/9/10/11), per-executor pool-size decisions (Fig. 6),
+adaptive-interval sensor readings (Fig. 7), and sampled resource utilisation
+(Figs. 1/5/12, via :mod:`repro.monitoring`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class TaskMetrics:
+    """Everything measured about one finished task."""
+
+    stage_id: int
+    partition: int
+    executor_id: int
+    node_id: int
+    launch_time: float
+    finish_time: float
+    cpu_seconds: float = 0.0
+    io_wait_seconds: float = 0.0
+    disk_read_bytes: float = 0.0
+    disk_write_bytes: float = 0.0
+    shuffle_read_bytes: float = 0.0
+    shuffle_write_bytes: float = 0.0
+    output_write_bytes: float = 0.0
+    pool_size_at_launch: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.finish_time - self.launch_time
+
+    @property
+    def total_io_bytes(self) -> float:
+        return (
+            self.disk_read_bytes
+            + self.disk_write_bytes
+            + self.shuffle_read_bytes
+            + self.shuffle_write_bytes
+            + self.output_write_bytes
+        )
+
+
+@dataclass
+class PoolEvent:
+    """One thread-pool resize on one executor (Fig. 6's raw data)."""
+
+    time: float
+    executor_id: int
+    stage_id: int
+    pool_size: int
+    reason: str = ""
+
+
+@dataclass
+class IntervalRecord:
+    """One MAPE-K monitoring interval (Fig. 7's raw data).
+
+    ``threads`` is the pool size under test, ``epoll_wait`` the accumulated
+    I/O wait (the strace analogue, ε), ``throughput`` the mean task I/O
+    bytes/second (µ), and ``congestion`` their ratio (ζ = ε/µ).
+    """
+
+    executor_id: int
+    stage_id: int
+    threads: int
+    start_time: float
+    end_time: float
+    epoll_wait: float
+    io_bytes: float
+    decision: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def throughput(self) -> float:
+        return self.io_bytes / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def congestion(self) -> float:
+        """ζ = (ε / j) / µ, the per-task-normalised congestion index.
+
+        Matches :func:`repro.adaptive.mapek.congestion_index`: interval
+        ``I_j`` monitors exactly ``j`` tasks, so ε is normalised by the
+        thread count before dividing by throughput.
+        """
+        throughput = self.throughput
+        mean_wait = self.epoll_wait / max(1, self.threads)
+        if throughput <= 0:
+            return float("inf") if mean_wait > 0 else 0.0
+        return mean_wait / throughput
+
+
+@dataclass
+class ResourceSample:
+    """One per-second monitoring sample of one node (mpstat/iostat style)."""
+
+    time: float
+    node_id: int
+    stage_id: Optional[int]
+    cpu_utilization: float
+    disk_utilization: float
+    disk_read_rate: float
+    disk_write_rate: float
+
+    @property
+    def disk_throughput(self) -> float:
+        return self.disk_read_rate + self.disk_write_rate
+
+
+@dataclass
+class StageRecord:
+    """Everything recorded about one executed stage."""
+
+    stage_id: int
+    name: str
+    is_io_marked: bool
+    num_tasks: int
+    start_time: float
+    end_time: float = 0.0
+    tasks: List[TaskMetrics] = field(default_factory=list)
+    pool_events: List[PoolEvent] = field(default_factory=list)
+    intervals: List[IntervalRecord] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    def final_pool_sizes(self) -> Dict[int, int]:
+        """Last chosen pool size per executor (the Fig. 6/8 stage labels)."""
+        sizes: Dict[int, int] = {}
+        for event in self.pool_events:
+            sizes[event.executor_id] = event.pool_size
+        return sizes
+
+    def total_threads_used(self) -> int:
+        return sum(self.final_pool_sizes().values())
+
+
+@dataclass
+class RunRecorder:
+    """Accumulates records over one application run."""
+
+    stages: List[StageRecord] = field(default_factory=list)
+    samples: List[ResourceSample] = field(default_factory=list)
+
+    def begin_stage(self, record: StageRecord) -> None:
+        self.stages.append(record)
+
+    @property
+    def current_stage(self) -> Optional[StageRecord]:
+        if self.stages and self.stages[-1].end_time == 0.0:
+            return self.stages[-1]
+        return None
+
+    def stage(self, stage_id: int) -> StageRecord:
+        for record in self.stages:
+            if record.stage_id == stage_id:
+                return record
+        raise KeyError(f"no record for stage {stage_id}")
+
+    @property
+    def total_runtime(self) -> float:
+        """Wall-clock from the first stage start to the last stage end."""
+        if not self.stages:
+            return 0.0
+        return max(s.end_time for s in self.stages) - self.stages[0].start_time
+
+    def stage_samples(self, stage_id: int) -> List[ResourceSample]:
+        return [s for s in self.samples if s.stage_id == stage_id]

@@ -1,0 +1,78 @@
+"""Partitioners: how shuffle outputs are routed to reduce partitions."""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, List, Optional
+
+
+class Partitioner:
+    """Maps a record key to a reduce-partition index."""
+
+    def __init__(self, num_partitions: int) -> None:
+        if num_partitions <= 0:
+            raise ValueError(f"num_partitions must be positive: {num_partitions}")
+        self.num_partitions = num_partitions
+
+    def partition(self, key: Any) -> int:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.num_partitions == other.num_partitions
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.num_partitions))
+
+
+class HashPartitioner(Partitioner):
+    """Spark's default: ``hash(key) mod partitions``."""
+
+    def partition(self, key: Any) -> int:
+        return hash(key) % self.num_partitions
+
+
+class RangePartitioner(Partitioner):
+    """Routes keys into sorted, roughly equal-sized ranges.
+
+    Spark builds the range bounds by running a *sampling job* over the parent
+    RDD before the shuffle -- that job is Terasort's stage 0 in the paper.
+    Until :meth:`set_bounds` is called the partitioner is *unbounded* and the
+    DAG scheduler knows it must schedule the sampling pass first.
+    """
+
+    def __init__(self, num_partitions: int) -> None:
+        super().__init__(num_partitions)
+        self._bounds: Optional[List[Any]] = None
+
+    @property
+    def has_bounds(self) -> bool:
+        return self._bounds is not None
+
+    def set_bounds(self, sample_keys: List[Any]) -> None:
+        """Derive range bounds from collected sample keys."""
+        cuts = self.num_partitions - 1
+        if cuts <= 0 or not sample_keys:
+            self._bounds = []
+            return
+        ordered = sorted(sample_keys)
+        bounds = []
+        for i in range(1, self.num_partitions):
+            index = min(len(ordered) - 1, i * len(ordered) // self.num_partitions)
+            bounds.append(ordered[index])
+        self._bounds = bounds
+
+    def partition(self, key: Any) -> int:
+        if self._bounds is None:
+            raise RuntimeError(
+                "RangePartitioner used before its sampling job ran "
+                "(set_bounds was never called)"
+            )
+        return bisect.bisect_right(self._bounds, key)
+
+    def __eq__(self, other: object) -> bool:
+        # Two range partitioners are interchangeable only if they are the
+        # same object: bounds are data-dependent.
+        return self is other
+
+    def __hash__(self) -> int:
+        return id(self)

@@ -1,0 +1,47 @@
+"""Executor thread-pool policies: the pluggable tuning surface.
+
+The paper's three compared systems are all instances of one interface:
+
+* ``DefaultPolicy`` -- stock Spark: pool size = all virtual cores, always.
+* ``StaticIOPolicy`` (:mod:`repro.adaptive.static_policy`) -- the static
+  solution: a user-chosen size for I/O-marked stages.
+* ``AdaptivePolicy`` (:mod:`repro.adaptive.policies`) -- the self-adaptive
+  executor: a MAPE-K loop re-deciding the size while the stage runs.
+
+A policy instance is attached to *one* executor (decisions are per executor
+per stage -- paper section 5, Fig. 6).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.metrics import TaskMetrics
+
+
+class ExecutorPolicy:
+    """Decides an executor's thread-pool size over time."""
+
+    def on_stage_start(self, executor, stage) -> int:
+        """Initial pool size for this stage on this executor."""
+        return executor.default_pool_size
+
+    def on_task_complete(self, executor, stage, metrics: TaskMetrics) -> Optional[int]:
+        """Optionally return a new pool size after a task completes."""
+        return None
+
+
+class DefaultPolicy(ExecutorPolicy):
+    """Stock Spark behaviour: one thread per virtual core, never adjusted."""
+
+
+class FixedPolicy(ExecutorPolicy):
+    """A fixed pool size for every stage (used by sweep experiments)."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError(f"pool size must be positive, got {size}")
+        self.size = size
+
+    def on_stage_start(self, executor, stage) -> int:
+        return self.size

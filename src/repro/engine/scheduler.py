@@ -1,0 +1,181 @@
+"""The task scheduler: locality-aware assignment with a free-core registry.
+
+This reproduces the Spark component the paper had to teach about resizable
+pools (section 5.3-5.4): "the Spark scheduler keeps track of all the
+executors, how many cores they have been launched with and ... their current
+number of free cores which controls how many new tasks should be assigned to
+each executor."  Our driver keeps exactly that registry (``_pool_view`` and
+``_assigned``) and updates it from two executor messages: task completions
+and pool-resize notifications.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, List, Optional, Set
+
+from repro.engine.metrics import StageRecord
+from repro.engine.stage import Stage, build_task_plan
+from repro.engine.task import PoolResized, Task, TaskFinished
+from repro.simulation.core import Event
+from repro.simulation.resources import LatencyChannel
+
+
+class TaskSetManager:
+    """Pending tasks of one stage, indexed for locality-aware dispatch."""
+
+    def __init__(self, tasks: List[Task]) -> None:
+        self._unassigned: Set[int] = {task.partition for task in tasks}
+        self._by_node: Dict[int, deque] = {}
+        self._anywhere: deque = deque(tasks)
+        for task in tasks:
+            for node_id in task.preferred_nodes:
+                self._by_node.setdefault(node_id, deque()).append(task)
+
+    @property
+    def pending(self) -> int:
+        return len(self._unassigned)
+
+    def next_task(self, node_id: int) -> Optional[Task]:
+        """Pop a pending task, preferring one with data local to ``node_id``."""
+        local = self._by_node.get(node_id)
+        for queue in (local, self._anywhere):
+            if queue is None:
+                continue
+            while queue:
+                task = queue.popleft()
+                if task.partition in self._unassigned:
+                    self._unassigned.discard(task.partition)
+                    return task
+        return None
+
+
+class _StageRun:
+    """Book-keeping for the stage currently executing."""
+
+    def __init__(self, stage: Stage, tasks: List[Task], record: StageRecord,
+                 done: Event) -> None:
+        self.stage = stage
+        self.manager = TaskSetManager(tasks)
+        self.record = record
+        self.done = done
+        self.completed = 0
+        self.results: Dict[int, Any] = {}
+
+
+class TaskScheduler:
+    """Driver-side scheduling across all executors."""
+
+    def __init__(self, ctx) -> None:
+        self.ctx = ctx
+        self.channel = LatencyChannel(
+            ctx.sim, latency=float(ctx.conf.get("repro.control.latency"))
+        )
+        self._pool_view: Dict[int, int] = {}
+        self._assigned: Dict[int, int] = {}
+        self._run: Optional[_StageRun] = None
+
+    @property
+    def busy(self) -> bool:
+        return self._run is not None
+
+    def registered_pool_size(self, executor_id: int) -> int:
+        """The driver's current belief about an executor's pool size."""
+        return self._pool_view[executor_id]
+
+    # -- stage execution ---------------------------------------------------------
+
+    def run_stage(self, stage: Stage) -> Event:
+        """Execute a stage; the returned event fires with ordered results."""
+        if self._run is not None:
+            raise RuntimeError("a stage is already running (stages are serial)")
+        sim = self.ctx.sim
+        record = StageRecord(
+            stage_id=stage.stage_id,
+            name=stage.rdd.name,
+            is_io_marked=stage.is_io_marked,
+            num_tasks=stage.num_tasks,
+            start_time=sim.now,
+        )
+        self.ctx.recorder.begin_stage(record)
+        tasks = [
+            Task(stage, split, build_task_plan(self.ctx, stage, split))
+            for split in range(stage.num_tasks)
+        ]
+        run = _StageRun(stage, tasks, record, sim.event())
+        self._run = run
+        # Stage-start RPC: each executor consults its policy and reports the
+        # initial pool size back to the driver's registry.
+        for executor in self.ctx.executors:
+            size = executor.begin_stage(stage, record)
+            self._pool_view[executor.executor_id] = size
+            self._assigned.setdefault(executor.executor_id, 0)
+        self.ctx.monitoring.start_stage(stage, record)
+        # First wave of launches goes out after one control-plane hop.
+        sim.timeout(self.channel.latency).add_callback(lambda _e: self._assign())
+        return run.done
+
+    def _assign(self) -> None:
+        run = self._run
+        if run is None:
+            return
+        progress = True
+        while progress and run.manager.pending:
+            progress = False
+            for executor in self.ctx.executors:
+                executor_id = executor.executor_id
+                free = self._pool_view[executor_id] - self._assigned[executor_id]
+                if free <= 0:
+                    continue
+                task = run.manager.next_task(executor.node.node_id)
+                if task is None:
+                    break
+                self._assigned[executor_id] += 1
+                self.channel.send(executor.launch_task, task)
+                progress = True
+
+    # -- executor messages ------------------------------------------------------------
+
+    def handle_message(self, message) -> None:
+        if isinstance(message, PoolResized):
+            self._pool_view[message.executor_id] = message.pool_size
+            self._assign()
+        elif isinstance(message, TaskFinished):
+            self._on_task_finished(message)
+        else:
+            raise TypeError(f"unknown scheduler message: {message!r}")
+
+    def _on_task_finished(self, message: TaskFinished) -> None:
+        run = self._run
+        if run is None or message.task.stage is not run.stage:
+            raise RuntimeError("completion for a task of a stage that is not running")
+        self._assigned[message.executor_id] -= 1
+        if message.map_status is not None:
+            self.ctx.map_output_tracker.register_map_output(
+                run.stage.shuffle_dep.shuffle_id, message.map_status
+            )
+        else:
+            run.results[message.task.partition] = message.result
+        run.completed += 1
+        if run.completed == run.stage.num_tasks:
+            self._finish_stage(run)
+        else:
+            self._assign()
+
+    def _finish_stage(self, run: _StageRun) -> None:
+        run.record.end_time = self.ctx.sim.now
+        self.ctx.monitoring.end_stage(run.stage, run.record)
+        # Record sizes for RDDs this stage materialised into the cache so
+        # later stages plan memory reads instead of recomputation.
+        for rdd in run.stage.pipeline_rdds():
+            if rdd.cached:
+                for split in range(rdd.num_partitions):
+                    self.ctx.cache_manager.put_size(
+                        rdd.id, split, rdd.partition_size(split)
+                    )
+        self._run = None
+        if run.stage.is_result_stage:
+            ordered = [run.results[i] for i in range(run.stage.num_tasks)]
+            run.done.succeed(ordered)
+        else:
+            run.done.succeed(None)

@@ -1,0 +1,180 @@
+"""Stages and per-task execution plans.
+
+A stage is a pipeline of narrowly-dependent RDDs executed as one wave of
+tasks.  :func:`build_task_plan` walks the stage's pipeline for one partition
+and produces the :class:`TaskPlan` the executor turns into simulated I/O and
+CPU phases -- the bridge between the logical RDD program and the physical
+resource model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.engine.actions import Action
+from repro.engine.rdd import (
+    HadoopRDD,
+    NarrowDependency,
+    RDD,
+    ShuffleDependency,
+    UnionRDD,
+)
+
+
+@dataclass(frozen=True)
+class DfsRead:
+    """One DFS input read: volume plus the nodes holding replicas."""
+
+    size: float
+    preferred_nodes: Tuple[int, ...]
+
+
+@dataclass
+class TaskPlan:
+    """Physical resource demands of one task."""
+
+    stage_id: int
+    partition: int
+    dfs_reads: List[DfsRead] = field(default_factory=list)
+    shuffle_fetches: List[Tuple[int, float]] = field(default_factory=list)
+    cpu_seconds: float = 0.0
+    shuffle_write_bytes: float = 0.0
+    output_write_bytes: float = 0.0
+
+    @property
+    def read_bytes(self) -> float:
+        return sum(r.size for r in self.dfs_reads) + sum(
+            size for _node, size in self.shuffle_fetches
+        )
+
+    @property
+    def write_bytes(self) -> float:
+        return self.shuffle_write_bytes + self.output_write_bytes
+
+    @property
+    def total_io_bytes(self) -> float:
+        return self.read_bytes + self.write_bytes
+
+    @property
+    def preferred_nodes(self) -> Tuple[int, ...]:
+        preferred: List[int] = []
+        for read in self.dfs_reads:
+            for node in read.preferred_nodes:
+                if node not in preferred:
+                    preferred.append(node)
+        return tuple(preferred)
+
+
+class Stage:
+    """One stage of a job: either a shuffle-map stage or the result stage."""
+
+    def __init__(
+        self,
+        stage_id: int,
+        rdd: RDD,
+        parents: List["Stage"],
+        shuffle_dep: Optional[ShuffleDependency] = None,
+        action: Optional[Action] = None,
+    ) -> None:
+        if (shuffle_dep is None) == (action is None):
+            raise ValueError("a stage is either a map stage or the result stage")
+        self.stage_id = stage_id
+        self.rdd = rdd
+        self.parents = parents
+        self.shuffle_dep = shuffle_dep
+        self.action = action
+        self.num_tasks = rdd.num_partitions
+
+    @property
+    def is_result_stage(self) -> bool:
+        return self.action is not None
+
+    def pipeline_rdds(self) -> List[RDD]:
+        """Every RDD computed inside this stage (narrow closure of the root)."""
+        seen: List[RDD] = []
+
+        def visit(rdd: RDD) -> None:
+            if any(existing is rdd for existing in seen):
+                return
+            seen.append(rdd)
+            if rdd.cached and rdd.ctx.cache_manager.has_any(rdd.id):
+                return  # served from cache; its lineage is not recomputed
+            for dep in rdd.deps:
+                if isinstance(dep, NarrowDependency):
+                    visit(dep.rdd)
+
+        visit(self.rdd)
+        return seen
+
+    @property
+    def is_io_marked(self) -> bool:
+        """The static solution's stage classification (paper section 4).
+
+        True iff the stage pipeline contains an explicit input read
+        (``textFile``) or the stage writes job output (``saveAs*``).  Shuffle
+        traffic deliberately does *not* mark a stage -- that blind spot is the
+        paper's limitation L2 and the reason the dynamic solution wins on
+        PageRank.
+        """
+        if self.is_result_stage and self.action.writes_output:
+            return True
+        return any(rdd.reads_input for rdd in self.pipeline_rdds())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "result" if self.is_result_stage else "map"
+        return f"Stage({self.stage_id}, {kind}, rdd={self.rdd.name}, tasks={self.num_tasks})"
+
+
+def build_task_plan(ctx, stage: Stage, split: int) -> TaskPlan:
+    """Derive the physical plan for task ``split`` of ``stage``.
+
+    Must run after all parent stages completed (shuffle fetch plans are read
+    from the map-output tracker).
+    """
+    plan = TaskPlan(stage_id=stage.stage_id, partition=split)
+    visited = set()
+
+    def visit(rdd: RDD, part: int) -> None:
+        if (rdd.id, part) in visited:
+            # Reached through two narrow branches (e.g. PageRank's join of
+            # ``links`` with ranks derived from ``links``): the first
+            # computation is block-cached within the task, so the partition
+            # is charged once.
+            return
+        visited.add((rdd.id, part))
+        if rdd.cached and ctx.cache_manager.has(rdd.id, part):
+            # Served from executor memory: no I/O, negligible CPU.
+            return
+        if isinstance(rdd, UnionRDD):
+            parent, parent_split = rdd.parent_split(part)
+            visit(parent, parent_split)
+            return
+        plan.cpu_seconds += rdd.cpu_cost(part)
+        if isinstance(rdd, HadoopRDD):
+            plan.dfs_reads.append(
+                DfsRead(rdd.input_bytes(part), rdd.preferred_nodes(part))
+            )
+        for dep in rdd.deps:
+            if isinstance(dep, ShuffleDependency):
+                plan.shuffle_fetches.extend(
+                    ctx.map_output_tracker.fetch_plan(dep.shuffle_id, part)
+                )
+            else:
+                visit(dep.rdd, part)
+
+    visit(stage.rdd, split)
+    if stage.shuffle_dep is not None:
+        plan.shuffle_write_bytes = stage.shuffle_dep.map_output_size(split).bytes
+        plan.cpu_seconds += plan.shuffle_write_bytes * float(
+            ctx.conf.get("repro.cpu.shuffle.write.per.byte")
+        )
+    if stage.action is not None:
+        plan.output_write_bytes = stage.action.output_bytes(stage.rdd, split)
+        plan.cpu_seconds += plan.output_write_bytes * float(
+            ctx.conf.get("repro.cpu.output.write.per.byte")
+        )
+    plan.cpu_seconds += sum(size for _node, size in plan.shuffle_fetches) * float(
+        ctx.conf.get("repro.cpu.shuffle.read.per.byte")
+    )
+    return plan

@@ -1,0 +1,56 @@
+"""Task instances and driver<->executor control-plane messages.
+
+The message types mirror the paper's section 5.4: Spark's protocol carries
+task launches and status updates; the self-adaptive executor *extends* it
+with a pool-resize notification so the scheduler's free-core registry stays
+consistent with the executor's actual thread pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.engine.metrics import TaskMetrics
+from repro.engine.shuffle import MapStatus
+from repro.engine.stage import Stage, TaskPlan
+
+
+@dataclass
+class Task:
+    """One schedulable unit: a partition of a stage plus its physical plan."""
+
+    stage: Stage
+    partition: int
+    plan: TaskPlan
+
+    @property
+    def preferred_nodes(self):
+        return self.plan.preferred_nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Task(stage={self.stage.stage_id}, partition={self.partition})"
+
+
+@dataclass
+class TaskFinished:
+    """Executor -> driver: a task completed (Spark's StatusUpdate)."""
+
+    executor_id: int
+    task: Task
+    metrics: TaskMetrics
+    map_status: Optional[MapStatus] = None
+    result: Any = None
+
+
+@dataclass
+class PoolResized:
+    """Executor -> driver: the thread pool changed size.
+
+    This is the protocol extension the paper adds: "we had to extend the
+    messaging protocol to facilitate a mechanism for executors to notify the
+    scheduler about any changes in the size of their thread pool" (5.4).
+    """
+
+    executor_id: int
+    pool_size: int

@@ -1,0 +1,29 @@
+"""Experiment harness: per-figure/table experiment runners and reporting.
+
+Every table and figure in the paper's evaluation maps to one function in
+:mod:`repro.harness.experiments` (see DESIGN.md section 4); the benchmark
+suite under ``benchmarks/`` calls these and renders their results with
+:mod:`repro.harness.report`.
+"""
+
+from repro.harness.runner import (
+    build_cluster,
+    build_context,
+    make_policy_factory,
+    run_workload,
+    static_sweep,
+    derive_bestfit,
+)
+from repro.harness.report import render_series, render_table, write_result
+
+__all__ = [
+    "build_cluster",
+    "build_context",
+    "derive_bestfit",
+    "make_policy_factory",
+    "render_series",
+    "render_table",
+    "run_workload",
+    "static_sweep",
+    "write_result",
+]

@@ -1,0 +1,73 @@
+"""Plain-text rendering of experiment results (the "figures" of this repo)."""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Optional, Sequence
+
+RESULTS_DIR = os.environ.get(
+    "REPRO_RESULTS_DIR",
+    os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))), "results"),
+)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """A fixed-width ASCII table."""
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(name: str, points: Sequence, unit: str = "",
+                  width: int = 50) -> str:
+    """A labelled series with a text sparkline (for time-series figures)."""
+    values = [float(v) for _x, v in points]
+    top = max(values) if values else 0.0
+    blocks = " .:-=+*#%@"
+    chars = []
+    for value in values:
+        level = 0 if top == 0 else int(round(value / top * (len(blocks) - 1)))
+        chars.append(blocks[level])
+    summary = (
+        f"min={min(values):.3g} max={max(values):.3g} "
+        f"mean={sum(values) / len(values):.3g}{unit}"
+        if values
+        else "empty"
+    )
+    return f"{name}: |{''.join(chars[:width])}| {summary}"
+
+
+def write_result(name: str, content: str,
+                 directory: Optional[str] = None) -> str:
+    """Persist a rendered experiment result under ``results/``."""
+    directory = directory or RESULTS_DIR
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content.rstrip() + "\n")
+    return path
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3g}"
+    return str(cell)

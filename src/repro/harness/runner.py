@@ -1,0 +1,161 @@
+"""Building clusters/contexts and running workloads under any policy.
+
+The policy *spec* vocabulary used throughout the harness and benchmarks:
+
+* ``"default"``            -- stock Spark (all virtual cores)
+* ``("fixed", n)``         -- every stage at ``n`` threads
+* ``("static", n)``        -- the static solution: I/O-marked stages at ``n``
+* ``("bestfit", sizes)``   -- per-stage-ordinal thread counts (static BestFit)
+* ``"dynamic"``            -- the self-adaptive executor
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+from repro.adaptive import AdaptivePolicy, BestFitPolicy, StaticIOPolicy
+from repro.cluster import Cluster, ClusterSpec, NodeSpec
+from repro.engine.conf import SparkConf
+from repro.engine.context import SparkContext
+from repro.engine.policy import DefaultPolicy, ExecutorPolicy, FixedPolicy
+from repro.storage.device import HDD_PROFILE, SSD_PROFILE, DeviceProfile
+from repro.workloads import Workload, WorkloadRun, get_workload
+
+PolicySpec = Union[str, Tuple[str, Any], Callable[..., ExecutorPolicy]]
+
+DEVICE_PROFILES: Dict[str, DeviceProfile] = {
+    "hdd": HDD_PROFILE,
+    "ssd": SSD_PROFILE,
+}
+
+
+def make_policy_factory(spec: PolicySpec) -> Callable:
+    """Turn a policy spec into a per-executor policy factory."""
+    if callable(spec):
+        return lambda executor: spec()
+    if spec == "default":
+        return lambda executor: DefaultPolicy()
+    if spec == "dynamic":
+        return lambda executor: AdaptivePolicy()
+    if isinstance(spec, tuple) and len(spec) == 2:
+        kind, arg = spec
+        if kind == "fixed":
+            return lambda executor: FixedPolicy(int(arg))
+        if kind == "static":
+            return lambda executor: StaticIOPolicy(int(arg))
+        if kind == "bestfit":
+            sizes = dict(arg)
+            return lambda executor: BestFitPolicy(sizes)
+        if kind == "dynamic":
+            kwargs = dict(arg)
+            return lambda executor: AdaptivePolicy(**kwargs)
+    raise ValueError(f"unknown policy spec: {spec!r}")
+
+
+def build_cluster(
+    num_nodes: int = 4,
+    device: str = "hdd",
+    disk_sigma: float = 0.0,
+    cpu_sigma: float = 0.0,
+    seed: int = 42,
+    cores: int = 32,
+) -> Cluster:
+    """A DAS-5-shaped cluster (paper section 6.1 defaults)."""
+    try:
+        profile = DEVICE_PROFILES[device]
+    except KeyError:
+        raise ValueError(
+            f"unknown device {device!r}; expected one of {sorted(DEVICE_PROFILES)}"
+        ) from None
+    spec = ClusterSpec(
+        num_nodes=num_nodes,
+        node=NodeSpec(cores=cores, disk_profile=profile),
+        disk_sigma=disk_sigma,
+        cpu_sigma=cpu_sigma,
+        seed=seed,
+    )
+    return Cluster(spec)
+
+
+def build_context(
+    policy: PolicySpec = "default",
+    cluster: Optional[Cluster] = None,
+    conf_overrides: Optional[Dict[str, Any]] = None,
+    **cluster_kwargs: Any,
+) -> SparkContext:
+    if cluster is None:
+        cluster = build_cluster(**cluster_kwargs)
+    elif cluster_kwargs:
+        raise ValueError("pass either a cluster or cluster kwargs, not both")
+    conf = SparkConf(conf_overrides or {})
+    return SparkContext(
+        cluster=cluster,
+        conf=conf,
+        policy_factory=make_policy_factory(policy),
+    )
+
+
+def run_workload(
+    workload: Union[str, Workload],
+    policy: PolicySpec = "default",
+    conf_overrides: Optional[Dict[str, Any]] = None,
+    workload_kwargs: Optional[Dict[str, Any]] = None,
+    **cluster_kwargs: Any,
+) -> WorkloadRun:
+    """One fresh context, one workload run."""
+    if isinstance(workload, str):
+        workload = get_workload(workload, **(workload_kwargs or {}))
+    elif workload_kwargs:
+        raise ValueError("workload_kwargs only apply when passing a name")
+    ctx = build_context(policy=policy, conf_overrides=conf_overrides,
+                        **cluster_kwargs)
+    return workload.run(ctx)
+
+
+def static_sweep(
+    workload: Union[str, Workload],
+    thread_counts=(32, 16, 8, 4, 2),
+    workload_kwargs: Optional[Dict[str, Any]] = None,
+    conf_overrides: Optional[Dict[str, Any]] = None,
+    **cluster_kwargs: Any,
+) -> Dict[int, WorkloadRun]:
+    """The paper's Fig. 2/4/10 protocol: the static solution at each count.
+
+    The default count (32) run doubles as the paper's "Default Spark"
+    baseline, since the static solution at 32 threads is the default.
+    """
+    runs: Dict[int, WorkloadRun] = {}
+    for threads in thread_counts:
+        runs[threads] = run_workload(
+            workload,
+            policy=("static", threads),
+            conf_overrides=conf_overrides,
+            workload_kwargs=workload_kwargs,
+            **cluster_kwargs,
+        )
+    return runs
+
+
+def derive_bestfit(sweep: Dict[int, WorkloadRun],
+                   default_threads: int = 32) -> Dict[int, int]:
+    """Per-stage best thread counts from a static sweep (paper's BestFit).
+
+    Only I/O-marked stages are tunable by the static solution; every other
+    stage keeps the default (that restriction is exactly why static BestFit
+    loses to the dynamic solution on PageRank).
+    """
+    reference = next(iter(sweep.values()))
+    sizes: Dict[int, int] = {}
+    for ordinal, stage in enumerate(reference.stages):
+        if not stage.is_io_marked:
+            sizes[ordinal] = default_threads
+            continue
+        best_threads = default_threads
+        best_duration = float("inf")
+        for threads, run in sweep.items():
+            duration = run.stages[ordinal].duration
+            if duration < best_duration:
+                best_duration = duration
+                best_threads = threads
+        sizes[ordinal] = best_threads
+    return sizes

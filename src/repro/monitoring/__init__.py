@@ -1,0 +1,29 @@
+"""OS-level monitoring analogues over the simulated cluster.
+
+The paper measures its systems with standard Linux tooling; each tool has a
+direct counterpart here:
+
+* ``mpstat`` (per-stage CPU usage, Fig. 1)    -> :mod:`repro.monitoring.mpstat`
+* ``iostat`` (disk utilisation, Fig. 5)       -> :mod:`repro.monitoring.iostat`
+* ``strace`` epoll accounting (ε, section 5.1) -> :mod:`repro.monitoring.strace`
+* Spark metrics sampling (µ, Fig. 12)          -> :class:`MonitoringService`
+
+:class:`MonitoringService` polls every node once per simulated second while a
+stage is running and appends :class:`repro.engine.metrics.ResourceSample`
+rows to the run recorder; the per-tool modules aggregate those rows into the
+paper's views.
+"""
+
+from repro.monitoring.sampler import MonitoringService
+from repro.monitoring.mpstat import stage_cpu_usage, stage_io_wait
+from repro.monitoring.iostat import stage_disk_utilization, stage_disk_throughput
+from repro.monitoring.strace import EpollSensor
+
+__all__ = [
+    "EpollSensor",
+    "MonitoringService",
+    "stage_cpu_usage",
+    "stage_disk_throughput",
+    "stage_disk_utilization",
+    "stage_io_wait",
+]

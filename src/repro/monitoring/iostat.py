@@ -1,0 +1,54 @@
+"""iostat analogue: per-stage disk utilisation and throughput.
+
+Feeds the paper's Fig. 5 (average disk utilisation across all nodes in the
+I/O stage of different applications) and Fig. 12 (I/O throughput time
+series).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.engine.metrics import RunRecorder
+
+
+def stage_disk_utilization(recorder: RunRecorder, stage_id: int) -> float:
+    """Average disk busy fraction (0..1) across nodes over a stage."""
+    samples = recorder.stage_samples(stage_id)
+    if not samples:
+        raise ValueError(f"no monitoring samples recorded for stage {stage_id}")
+    return sum(s.disk_utilization for s in samples) / len(samples)
+
+
+def stage_disk_throughput(recorder: RunRecorder, stage_id: int) -> float:
+    """Average aggregate disk bytes/second across nodes over a stage."""
+    samples = recorder.stage_samples(stage_id)
+    if not samples:
+        raise ValueError(f"no monitoring samples recorded for stage {stage_id}")
+    return sum(s.disk_throughput for s in samples) / len(samples)
+
+
+def throughput_timeseries(
+    recorder: RunRecorder,
+    stage_id: int,
+    node_id: Optional[int] = None,
+) -> List[tuple]:
+    """``[(time_since_stage_start, bytes_per_second), ...]`` for Fig. 12.
+
+    When ``node_id`` is None, samples taken at the same instant are summed
+    across nodes (cluster aggregate throughput).
+    """
+    samples = [
+        s
+        for s in recorder.stage_samples(stage_id)
+        if node_id is None or s.node_id == node_id
+    ]
+    if not samples:
+        raise ValueError(f"no monitoring samples recorded for stage {stage_id}")
+    start = recorder.stage(stage_id).start_time
+    if node_id is not None:
+        return [(s.time - start, s.disk_throughput) for s in samples]
+    by_time: dict = {}
+    for sample in samples:
+        by_time[sample.time] = by_time.get(sample.time, 0.0) + sample.disk_throughput
+    return [(time - start, value) for time, value in sorted(by_time.items())]

@@ -1,0 +1,114 @@
+"""Per-second resource sampling while stages run.
+
+The service keeps cumulative-counter snapshots per node and, once per
+simulated second during a stage, converts counter deltas into utilisation
+and throughput rates -- the same windowed view ``mpstat``/``iostat`` give
+the paper's authors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.engine.metrics import ResourceSample
+
+
+@dataclass
+class _NodeSnapshot:
+    time: float
+    cpu_occupancy: float
+    disk_busy: float
+    disk_read: float
+    disk_write: float
+
+
+class MonitoringService:
+    """Drives per-second sampling of every node during stage execution."""
+
+    def __init__(self, ctx, interval: float = 1.0, enabled: bool = True) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.ctx = ctx
+        self.interval = interval
+        self.enabled = enabled
+        self._active_stage_id: Optional[int] = None
+        self._snapshots: Dict[int, _NodeSnapshot] = {}
+        self._loop_running = False
+
+    # -- stage hooks (called by the task scheduler) ---------------------------
+
+    def start_stage(self, stage, record) -> None:
+        if not self.enabled:
+            return
+        self._active_stage_id = stage.stage_id
+        self._reset_snapshots()
+        if not self._loop_running:
+            self._loop_running = True
+            self._schedule_next()
+
+    def end_stage(self, stage, record) -> None:
+        if not self.enabled:
+            return
+        # Take one final window so short stages get at least one sample.
+        self._sample_all()
+        self._active_stage_id = None
+
+    # -- sampling loop -----------------------------------------------------------
+
+    def _schedule_next(self) -> None:
+        marker = self.ctx.sim.timeout(self.interval)
+        marker.add_callback(lambda _e: self._tick())
+
+    def _tick(self) -> None:
+        if self._active_stage_id is None:
+            # Stage ended (or gap between stages): let the loop die; it is
+            # restarted by the next start_stage call.
+            self._loop_running = False
+            return
+        self._sample_all()
+        self._schedule_next()
+
+    def _reset_snapshots(self) -> None:
+        for node in self.ctx.cluster.nodes:
+            self._snapshots[node.node_id] = self._snapshot(node)
+
+    def _snapshot(self, node) -> _NodeSnapshot:
+        node.cpu.sync()
+        node.disk.sync()
+        return _NodeSnapshot(
+            time=self.ctx.sim.now,
+            cpu_occupancy=node.cpu.stats.occupancy_integral,
+            disk_busy=node.disk.stats.busy_time,
+            disk_read=node.disk.bytes_read,
+            disk_write=node.disk.bytes_written,
+        )
+
+    def _sample_all(self) -> None:
+        for node in self.ctx.cluster.nodes:
+            previous = self._snapshots.get(node.node_id)
+            current = self._snapshot(node)
+            self._snapshots[node.node_id] = current
+            if previous is None:
+                continue
+            elapsed = current.time - previous.time
+            if elapsed <= 0:
+                continue
+            self.ctx.recorder.samples.append(
+                ResourceSample(
+                    time=current.time,
+                    node_id=node.node_id,
+                    stage_id=self._active_stage_id,
+                    cpu_utilization=(
+                        (current.cpu_occupancy - previous.cpu_occupancy)
+                        / (node.cpu.cores * elapsed)
+                    ),
+                    disk_utilization=min(
+                        1.0, (current.disk_busy - previous.disk_busy) / elapsed
+                    ),
+                    disk_read_rate=(current.disk_read - previous.disk_read) / elapsed,
+                    disk_write_rate=(
+                        (current.disk_write - previous.disk_write) / elapsed
+                    ),
+                )
+            )

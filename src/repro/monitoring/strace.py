@@ -1,0 +1,57 @@
+"""strace analogue: epoll-wait-time accounting per executor.
+
+The paper's monitor uses ``strace`` to accumulate the time an executor's
+threads spend in ``epoll_wait`` -- i.e. blocked on file-descriptor events for
+disk or network I/O.  In the simulator every blocking I/O completion is
+observed directly, so the sensor is a snapshot-and-diff view over the
+executor's monotonically increasing counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class EpollReading:
+    """One interval's worth of sensor data."""
+
+    epoll_wait_seconds: float
+    io_bytes: float
+    tasks_completed: int
+    elapsed: float
+
+    @property
+    def throughput(self) -> float:
+        """µ: task I/O bytes per second over the interval."""
+        return self.io_bytes / self.elapsed if self.elapsed > 0 else 0.0
+
+
+class EpollSensor:
+    """Interval-based sensor over one executor's I/O counters."""
+
+    def __init__(self, executor) -> None:
+        self.executor = executor
+        self._mark_time = 0.0
+        self._mark_wait = 0.0
+        self._mark_bytes = 0.0
+        self._mark_tasks = 0
+        self.reset()
+
+    def reset(self) -> None:
+        """Begin a new measurement interval at the current instant."""
+        wait, io_bytes, tasks = self.executor.sensor_snapshot()
+        self._mark_time = self.executor.ctx.sim.now
+        self._mark_wait = wait
+        self._mark_bytes = io_bytes
+        self._mark_tasks = tasks
+
+    def read(self) -> EpollReading:
+        """Measurements accumulated since the last :meth:`reset`."""
+        wait, io_bytes, tasks = self.executor.sensor_snapshot()
+        return EpollReading(
+            epoll_wait_seconds=wait - self._mark_wait,
+            io_bytes=io_bytes - self._mark_bytes,
+            tasks_completed=tasks - self._mark_tasks,
+            elapsed=self.executor.ctx.sim.now - self._mark_time,
+        )

@@ -1,0 +1,12 @@
+"""Network substrate: per-node full-duplex links and point-to-point transfers.
+
+Shuffle fetches and replicated DFS writes flow through this package.  Each
+node owns an egress and an ingress link modelled as fair-share resources; a
+transfer occupies both its source's egress and its destination's ingress and
+completes when the slower side finishes (the standard bottleneck-link fluid
+approximation).
+"""
+
+from repro.network.fabric import NetworkFabric, NetworkLink
+
+__all__ = ["NetworkFabric", "NetworkLink"]

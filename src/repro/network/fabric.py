@@ -1,0 +1,111 @@
+"""Fair-share network links and the cluster fabric.
+
+DAS-5 nodes are connected by a non-blocking fabric, so we model no core
+congestion: contention happens only at node NICs.  Each NIC is full duplex --
+one :class:`NetworkLink` for egress and one for ingress -- and every link
+shares its bandwidth equally among active flows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.simulation.core import Event, Simulator
+from repro.simulation.resources import FairShareResource, Job
+
+GBIT = 1e9 / 8.0  # bytes/second for one gigabit
+
+
+class NetworkLink(FairShareResource):
+    """One direction of a node NIC, shared equally among active flows."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        bandwidth: float,
+        latency: float = 0.0001,
+    ) -> None:
+        if latency < 0:
+            raise ValueError(f"latency must be non-negative, got {latency}")
+        super().__init__(sim, name, capacity=bandwidth)
+        self.latency = latency
+        self.bytes_transferred = 0.0
+
+    def send(self, size: float, tag: str = "flow") -> Event:
+        """Move ``size`` bytes through this link; fires when done."""
+        if size < 0:
+            raise ValueError(f"negative transfer size: {size}")
+        done = self.sim.event()
+
+        def start(_event: Event) -> None:
+            job = self.submit(size, tag=tag)
+            job.event.add_callback(lambda _e: self._finish(done, size))
+
+        self.sim.timeout(self.latency).add_callback(start)
+        return done
+
+    def _finish(self, done: Event, size: float) -> None:
+        self.bytes_transferred += size
+        done.succeed(size)
+
+
+class NetworkFabric:
+    """All node NICs plus point-to-point transfer orchestration."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth: float = 10.0 * GBIT,
+        latency: float = 0.0001,
+    ) -> None:
+        self.sim = sim
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self._egress: Dict[int, NetworkLink] = {}
+        self._ingress: Dict[int, NetworkLink] = {}
+
+    def register_node(self, node_id: int, bandwidth: Optional[float] = None) -> None:
+        if node_id in self._egress:
+            raise ValueError(f"node {node_id} already registered")
+        capacity = bandwidth if bandwidth is not None else self.bandwidth
+        self._egress[node_id] = NetworkLink(
+            self.sim, f"net.out.{node_id}", capacity, self.latency
+        )
+        self._ingress[node_id] = NetworkLink(
+            self.sim, f"net.in.{node_id}", capacity, self.latency
+        )
+
+    def egress(self, node_id: int) -> NetworkLink:
+        return self._egress[node_id]
+
+    def ingress(self, node_id: int) -> NetworkLink:
+        return self._ingress[node_id]
+
+    @property
+    def node_ids(self) -> List[int]:
+        return sorted(self._egress)
+
+    def transfer(self, src: int, dst: int, size: float, tag: str = "flow") -> Event:
+        """Move ``size`` bytes from ``src`` to ``dst``.
+
+        The flow occupies the source egress and destination ingress links
+        concurrently and completes when both have passed the bytes (i.e. the
+        bottleneck link determines the duration).  A same-node transfer is
+        free: Spark short-circuits loopback fetches through memory.
+        """
+        if src == dst:
+            done = self.sim.event()
+            done.succeed(size)
+            return done
+        halves = [
+            self._egress[src].send(size, tag=tag),
+            self._ingress[dst].send(size, tag=tag),
+        ]
+        done = self.sim.event()
+        self.sim.all_of(halves).add_callback(lambda _e: done.succeed(size))
+        return done
+
+    def total_bytes(self) -> float:
+        """Bytes that crossed any egress link (each flow counted once)."""
+        return sum(link.bytes_transferred for link in self._egress.values())

@@ -1,0 +1,47 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package provides the substrate on which the Spark-like engine runs:
+
+* :mod:`repro.simulation.core` -- the event loop, processes (generator-based
+  coroutines), timeouts, and event combinators.
+* :mod:`repro.simulation.resources` -- fair-share resources whose aggregate
+  service rate depends on the number of concurrent jobs.  These model CPUs,
+  disks, and network links.
+* :mod:`repro.simulation.randomness` -- named, seeded random streams so that
+  every experiment is reproducible.
+
+The kernel is intentionally small and dependency-free; it is a purpose-built
+replacement for the real cluster the paper ran on (see DESIGN.md section 2).
+"""
+
+from repro.simulation.core import (
+    AllOf,
+    AnyOf,
+    Event,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from repro.simulation.randomness import RandomStreams
+from repro.simulation.resources import (
+    CpuResource,
+    FairShareResource,
+    Job,
+    ResourceStats,
+)
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "CpuResource",
+    "Event",
+    "FairShareResource",
+    "Job",
+    "Process",
+    "RandomStreams",
+    "ResourceStats",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+]

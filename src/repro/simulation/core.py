@@ -1,0 +1,309 @@
+"""Event loop, events, and generator-based processes.
+
+The design follows the classic discrete-event pattern (and deliberately mirrors
+the small core of SimPy, which is not available offline): a :class:`Simulator`
+owns a priority queue of scheduled events; a :class:`Process` wraps a Python
+generator that yields events and is resumed when they fire.
+
+Time is a float in *simulated seconds*.  The kernel is fully deterministic:
+ties in the event queue are broken by insertion order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the kernel (e.g. yielding a non-event)."""
+
+
+class Event:
+    """A one-shot occurrence that callbacks and processes can wait on.
+
+    An event moves through three states: *pending* (created, not scheduled),
+    *triggered* (scheduled to fire, has a value), and *processed* (callbacks
+    have run).  Waiting on an already-processed event resumes the waiter
+    immediately on the next loop iteration.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok = True
+        self._triggered = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded (False when it carries an exception)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event now with ``value``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._value = value
+        self._ok = True
+        self._triggered = True
+        self.sim._schedule(self, delay=0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event now with an exception; waiters will re-raise it."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._value = exception
+        self._ok = False
+        self._triggered = True
+        self.sim._schedule(self, delay=0.0)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event is processed."""
+        if self.callbacks is None:
+            # Already processed: run on the next loop iteration for
+            # deterministic ordering.
+            stub = Event(self.sim)
+            stub.add_callback(lambda _e: callback(self))
+            stub._value = None
+            stub._ok = True
+            stub._triggered = True
+            self.sim._schedule(stub, delay=0.0)
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._value = value
+        self._ok = True
+        self._triggered = True
+        sim._schedule(self, delay=delay)
+
+
+class Process(Event):
+    """A generator-based coroutine driven by the event loop.
+
+    The wrapped generator yields :class:`Event` instances; each ``yield``
+    suspends the process until that event fires, at which point the event's
+    value is sent back into the generator (or its exception thrown).  The
+    process itself is an event that fires with the generator's return value,
+    so processes can wait on each other.
+    """
+
+    __slots__ = ("generator", "name", "_waiting_on")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator[Event, Any, Any],
+        name: str = "",
+    ) -> None:
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"Process requires a generator, got {type(generator).__name__}"
+            )
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        bootstrap = Event(sim)
+        bootstrap._value = None
+        bootstrap._ok = True
+        bootstrap._triggered = True
+        bootstrap.add_callback(self._resume)
+        sim._schedule(bootstrap, delay=0.0)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self.generator.send(event.value)
+            else:
+                target = self.generator.throw(event.value)
+        except StopIteration as stop:
+            self._value = stop.value
+            self._ok = True
+            self._triggered = True
+            self.sim._schedule(self, delay=0.0)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into waiters
+            self._value = exc
+            self._ok = False
+            self._triggered = True
+            self.sim._schedule(self, delay=0.0)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {type(target).__name__}, "
+                "expected an Event"
+            )
+        if target.sim is not self.sim:
+            raise SimulationError("cannot wait on an event from another simulator")
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class AllOf(Event):
+    """Fires when every child event has fired; value is the list of values."""
+
+    __slots__ = ("_pending", "_values")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        events = list(events)
+        self._pending = len(events)
+        self._values: List[Any] = [None] * len(events)
+        if not events:
+            self.succeed([])
+            return
+        for index, event in enumerate(events):
+            event.add_callback(self._make_collector(index))
+
+    def _make_collector(self, index: int) -> Callable[[Event], None]:
+        def collect(event: Event) -> None:
+            if self._triggered:
+                return
+            if not event.ok:
+                self.fail(event.value)
+                return
+            self._values[index] = event.value
+            self._pending -= 1
+            if self._pending == 0:
+                self.succeed(list(self._values))
+
+        return collect
+
+
+class AnyOf(Event):
+    """Fires when the first child event fires; value is that event's value."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        events = list(events)
+        if not events:
+            raise SimulationError("AnyOf requires at least one event")
+        for event in events:
+            event.add_callback(self._collect)
+
+    def _collect(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event.ok:
+            self.succeed(event.value)
+        else:
+            self.fail(event.value)
+
+
+class Simulator:
+    """The discrete-event loop.
+
+    Usage::
+
+        sim = Simulator()
+        def worker():
+            yield sim.timeout(3.0)
+            return "done"
+        proc = sim.process(worker())
+        sim.run()
+        assert sim.now == 3.0 and proc.value == "done"
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List[tuple] = []
+        self._sequence = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    # -- scheduling -------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        self._sequence += 1
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any], name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback()`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise SimulationError(f"cannot schedule in the past: {when} < {self._now}")
+        marker = self.timeout(when - self._now)
+        marker.add_callback(lambda _e: callback())
+        return marker
+
+    # -- execution --------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        when, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._processed = True
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        elif not event.ok:
+            # A failed event nobody waited on would silently swallow the
+            # error; surface it instead ("errors should never pass silently").
+            raise event.value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or simulated time passes ``until``."""
+        if until is not None and until < self._now:
+            raise SimulationError("`until` lies in the past")
+        while self._queue:
+            when = self._queue[0][0]
+            if until is not None and when > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until

@@ -1,0 +1,52 @@
+"""Named, seeded random streams for reproducible experiments.
+
+Every stochastic element of the simulator (per-node hardware variability,
+task-size jitter, data skew) draws from its own named stream derived from a
+single experiment seed.  This keeps experiments reproducible while ensuring
+that, e.g., adding one more draw to the disk model does not perturb the
+network model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+class RandomStreams:
+    """A factory of independent :class:`random.Random` streams.
+
+    Streams are keyed by name; the per-stream seed is derived from the master
+    seed and the name via SHA-256, so stream identity is stable across runs
+    and insertion orders.
+    """
+
+    def __init__(self, seed: int = 42) -> None:
+        self.seed = int(seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return (creating if necessary) the stream called ``name``."""
+        if name not in self._streams:
+            digest = hashlib.sha256(f"{self.seed}:{name}".encode("utf-8")).digest()
+            self._streams[name] = random.Random(int.from_bytes(digest[:8], "big"))
+        return self._streams[name]
+
+    def lognormal_factor(self, name: str, sigma: float) -> float:
+        """A multiplicative jitter factor with median 1.0.
+
+        Used for per-node hardware variability (DESIGN.md section 5 / paper
+        Fig. 3): identical machines whose effective disk and CPU rates spread
+        log-normally around the nominal value.
+        """
+        if sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {sigma}")
+        if sigma == 0:
+            return 1.0
+        return self.stream(name).lognormvariate(0.0, sigma)
+
+    def fork(self, name: str) -> "RandomStreams":
+        """Derive a child factory (e.g. one per experiment repetition)."""
+        digest = hashlib.sha256(f"{self.seed}:fork:{name}".encode("utf-8")).digest()
+        return RandomStreams(int.from_bytes(digest[:8], "big"))

@@ -1,0 +1,304 @@
+"""Fair-share resources with concurrency-dependent service rates.
+
+This module implements the fluid-flow resource model used throughout the
+simulator: a resource serves all active jobs simultaneously, and each job's
+instantaneous rate is a function of the whole active set.  Whenever the active
+set changes (a job arrives or completes), remaining work is advanced and the
+next completion is rescheduled.
+
+Concrete rate policies:
+
+* :class:`CpuResource` -- ``cores`` capacity, each job demands one core, and
+  jobs timeshare when oversubscribed (rate = min(1, cores / k)).
+* Storage devices and network links subclass :class:`FairShareResource` in
+  their own packages and provide rate curves with contention effects.
+
+All resources keep cumulative counters (busy time, work done, concurrency
+integral) that the monitoring package samples to produce iostat/mpstat-style
+views.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.simulation.core import Event, SimulationError, Simulator
+
+_RELATIVE_EPS = 1e-9
+_ABSOLUTE_EPS = 1e-6
+
+
+@dataclass
+class ResourceStats:
+    """Cumulative accounting for a fair-share resource.
+
+    ``busy_time`` counts seconds during which at least one job was active,
+    ``work_done`` accumulates completed work units (bytes for I/O devices,
+    core-seconds for CPUs), and ``concurrency_integral`` is the time-integral
+    of the active-job count, so ``concurrency_integral / elapsed`` gives the
+    average queue depth over a window.
+    """
+
+    busy_time: float = 0.0
+    work_done: float = 0.0
+    concurrency_integral: float = 0.0
+    occupancy_integral: float = 0.0
+    jobs_completed: int = 0
+    work_by_tag: Dict[str, float] = field(default_factory=dict)
+
+    def snapshot(self) -> "ResourceStats":
+        copy = ResourceStats(
+            busy_time=self.busy_time,
+            work_done=self.work_done,
+            concurrency_integral=self.concurrency_integral,
+            occupancy_integral=self.occupancy_integral,
+            jobs_completed=self.jobs_completed,
+        )
+        copy.work_by_tag = dict(self.work_by_tag)
+        return copy
+
+
+class Job:
+    """One unit of service demand submitted to a fair-share resource."""
+
+    __slots__ = ("resource", "work", "remaining", "tag", "attrs", "event", "submitted_at")
+
+    def __init__(
+        self,
+        resource: "FairShareResource",
+        work: float,
+        tag: str,
+        attrs: Dict[str, Any],
+    ) -> None:
+        self.resource = resource
+        self.work = work
+        self.remaining = work
+        self.tag = tag
+        self.attrs = attrs
+        self.event: Event = resource.sim.event()
+        self.submitted_at = resource.sim.now
+
+    @property
+    def elapsed(self) -> float:
+        return self.resource.sim.now - self.submitted_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Job(tag={self.tag!r}, work={self.work:.3g}, "
+            f"remaining={self.remaining:.3g})"
+        )
+
+
+class FairShareResource:
+    """A resource that serves every active job at a set-dependent rate.
+
+    Subclasses override :meth:`rates` to define the sharing policy.  The
+    default splits a fixed aggregate ``capacity`` equally among active jobs.
+    """
+
+    def __init__(self, sim: Simulator, name: str, capacity: float = 1.0) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self.stats = ResourceStats()
+        self._jobs: List[Job] = []
+        self._last_update = sim.now
+        self._wake_generation = 0
+
+    # -- rate policy -------------------------------------------------------
+
+    def rates(self, jobs: List[Job]) -> Dict[Job, float]:
+        """Per-job service rate (work units per second) for the active set."""
+        share = self.capacity / len(jobs)
+        return {job: share for job in jobs}
+
+    # -- public API --------------------------------------------------------
+
+    @property
+    def active_jobs(self) -> int:
+        return len(self._jobs)
+
+    def submit(self, work: float, tag: str = "", **attrs: Any) -> Job:
+        """Submit ``work`` units; returns a :class:`Job` whose ``event`` fires
+        with the job itself when service completes."""
+        if work < 0:
+            raise SimulationError(f"negative work: {work}")
+        if not math.isfinite(work):
+            raise SimulationError(f"work must be finite, got {work}")
+        job = Job(self, float(work), tag, attrs)
+        if work == 0:
+            job.event.succeed(job)
+            return job
+        self._advance()
+        self._jobs.append(job)
+        self._reschedule()
+        return job
+
+    def sync(self) -> None:
+        """Bring cumulative counters up to the current instant.
+
+        Counters normally advance only when the active-job set changes;
+        samplers must call this before reading ``stats`` or long-running
+        transfers would appear as bursts at their completion events.
+        """
+        self._advance()
+
+    def utilization_between(self, busy_before: float, elapsed: float) -> float:
+        """Helper for samplers: busy fraction given a previous busy_time."""
+        if elapsed <= 0:
+            return 0.0
+        return max(0.0, min(1.0, (self.stats.busy_time - busy_before) / elapsed))
+
+    # -- mechanics ---------------------------------------------------------
+
+    def _advance(self) -> None:
+        now = self.sim.now
+        dt = now - self._last_update
+        if dt <= 0:
+            self._last_update = now
+            return
+        if self._jobs:
+            rates = self.rates(self._jobs)
+            moved = 0.0
+            for job in self._jobs:
+                step = rates[job] * dt
+                if step > job.remaining:
+                    step = job.remaining
+                job.remaining -= step
+                moved += step
+                if job.tag:
+                    self.stats.work_by_tag[job.tag] = (
+                        self.stats.work_by_tag.get(job.tag, 0.0) + step
+                    )
+            self.stats.busy_time += dt
+            self.stats.work_done += moved
+            self.stats.concurrency_integral += len(self._jobs) * dt
+            self.stats.occupancy_integral += self._occupied(len(self._jobs)) * dt
+        self._last_update = now
+
+    def _occupied(self, active: int) -> float:
+        """Capacity units in use while ``active`` jobs are served.
+
+        The default (1.0) means "the device is busy"; :class:`CpuResource`
+        overrides this to count occupied cores so samplers can report
+        mpstat-style utilisation.
+        """
+        return 1.0 if active else 0.0
+
+    def _reschedule(self) -> None:
+        self._wake_generation += 1
+        if not self._jobs:
+            return
+        generation = self._wake_generation
+        rates = self.rates(self._jobs)
+        horizon = math.inf
+        for job in self._jobs:
+            rate = rates[job]
+            if rate <= 0:
+                continue
+            horizon = min(horizon, job.remaining / rate)
+        if not math.isfinite(horizon):
+            raise SimulationError(
+                f"resource {self.name!r} has active jobs but zero service rate"
+            )
+        # Floor the horizon above the float resolution of the clock: a job
+        # with a sliver of residual work must not schedule a wake-up that
+        # fails to advance `now`, or the loop would spin forever.
+        floor = max(1e-9, self.sim.now * 1e-11)
+        marker = self.sim.timeout(max(horizon, floor))
+        marker.add_callback(lambda _e: self._on_wake(generation))
+
+    def _on_wake(self, generation: int) -> None:
+        if generation != self._wake_generation:
+            return  # superseded by a later membership change
+        self._advance()
+        finished: List[Job] = []
+        survivors: List[Job] = []
+        rates = self.rates(self._jobs) if self._jobs else {}
+        for job in self._jobs:
+            # A job is done when its residual work is negligible either
+            # relative to its size or in time-to-finish terms (< 1 us).
+            threshold = max(
+                _ABSOLUTE_EPS,
+                job.work * _RELATIVE_EPS,
+                rates[job] * 1e-6,
+            )
+            if job.remaining <= threshold:
+                job.remaining = 0.0
+                finished.append(job)
+            else:
+                survivors.append(job)
+        self._jobs = survivors
+        for job in finished:
+            self.stats.jobs_completed += 1
+            job.event.succeed(job)
+        self._reschedule()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r}, active={len(self._jobs)})"
+
+
+class CpuResource(FairShareResource):
+    """A bank of CPU cores with processor-sharing semantics.
+
+    Work is measured in *core-seconds*.  Each job demands at most one core;
+    with ``k`` active jobs on ``cores`` cores every job runs at rate
+    ``min(1, cores / k)``, which models the OS scheduler timeslicing threads
+    once the core count is exceeded.  An optional ``speed_factor`` models
+    per-node heterogeneity.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        cores: int,
+        speed_factor: float = 1.0,
+    ) -> None:
+        if cores <= 0:
+            raise SimulationError(f"cores must be positive, got {cores}")
+        super().__init__(sim, name, capacity=float(cores))
+        self.cores = cores
+        self.speed_factor = speed_factor
+
+    def rates(self, jobs: List[Job]) -> Dict[Job, float]:
+        per_job = min(1.0, self.cores / len(jobs)) * self.speed_factor
+        return {job: per_job for job in jobs}
+
+    def _occupied(self, active: int) -> float:
+        return float(min(active, self.cores))
+
+    def utilization(self, occupancy_before: float, elapsed: float) -> float:
+        """CPU usage as mpstat would report it: occupied core-seconds over
+        available core-seconds since the ``occupancy_before`` snapshot."""
+        if elapsed <= 0:
+            return 0.0
+        available = self.cores * elapsed
+        used = self.stats.occupancy_integral - occupancy_before
+        return max(0.0, min(1.0, used / available))
+
+
+class LatencyChannel:
+    """A point-to-point message channel with fixed delivery latency.
+
+    Used for the driver <-> executor control plane (task launch, completion
+    and pool-resize notifications -- the messaging-protocol extension the
+    paper describes in section 5.4).
+    """
+
+    def __init__(self, sim: Simulator, latency: float = 0.001) -> None:
+        if latency < 0:
+            raise SimulationError("latency must be non-negative")
+        self.sim = sim
+        self.latency = latency
+        self.messages_sent = 0
+
+    def send(self, handler, message: Any) -> None:
+        """Deliver ``message`` to ``handler(message)`` after the latency."""
+        self.messages_sent += 1
+        marker = self.sim.timeout(self.latency)
+        marker.add_callback(lambda _e: handler(message))

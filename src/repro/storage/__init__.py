@@ -1,0 +1,30 @@
+"""Storage substrate: block devices with contention models and a DFS.
+
+* :mod:`repro.storage.device` -- HDD/SSD models.  A device is a fair-share
+  resource whose aggregate bandwidth degrades with concurrency (seek thrash on
+  HDDs, erase-block staging for SSD writes) plus a per-request access latency.
+  These two ingredients make the paper's central phenomenon *emerge*: with few
+  threads, access latencies leave the device idle; with many threads, the
+  efficiency curve collapses aggregate throughput (paper sections 3-4).
+* :mod:`repro.storage.dfs` -- an HDFS-like block filesystem with replication
+  and locality metadata (the paper reads inputs from HDFS with replication
+  equal to the node count so every read is local).
+"""
+
+from repro.storage.device import (
+    HDD_PROFILE,
+    SSD_PROFILE,
+    DeviceProfile,
+    StorageDevice,
+)
+from repro.storage.dfs import BlockLocation, DfsFile, DistributedFileSystem
+
+__all__ = [
+    "BlockLocation",
+    "DeviceProfile",
+    "DfsFile",
+    "DistributedFileSystem",
+    "HDD_PROFILE",
+    "SSD_PROFILE",
+    "StorageDevice",
+]

@@ -1,0 +1,44 @@
+"""HiBench-style workloads with the paper's stage structures and I/O volumes.
+
+The paper evaluates four applications end-to-end (Table 3: Terasort, Join,
+Aggregation, PageRank) and measures the I/O amplification of nine (Table 2).
+Every one of them is implemented here as an RDD program whose synthetic data
+volumes are calibrated to the paper's reported input sizes and I/O activity;
+the four evaluation workloads additionally reproduce the paper's per-stage
+behaviour (stage counts, CPU bands from Fig. 1, thread-count optima).
+
+Each workload also has a *small materialised* mode used by tests and
+examples to validate semantics end-to-end (Terasort really sorts, PageRank
+really converges, Join really joins).
+"""
+
+from repro.workloads.base import Workload, WorkloadRun
+from repro.workloads.catalog import WORKLOADS, get_workload, workload_names
+from repro.workloads.terasort import Terasort
+from repro.workloads.pagerank import PageRank
+from repro.workloads.aggregation import Aggregation
+from repro.workloads.join import Join
+from repro.workloads.scan import Scan
+from repro.workloads.wordcount import WordCount
+from repro.workloads.bayes import Bayes
+from repro.workloads.lda import LDA
+from repro.workloads.nweight import NWeight
+from repro.workloads.svm import SVM
+
+__all__ = [
+    "Aggregation",
+    "Bayes",
+    "Join",
+    "LDA",
+    "NWeight",
+    "PageRank",
+    "SVM",
+    "Scan",
+    "Terasort",
+    "WORKLOADS",
+    "WordCount",
+    "Workload",
+    "WorkloadRun",
+    "get_workload",
+    "workload_names",
+]

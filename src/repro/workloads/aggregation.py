@@ -1,0 +1,87 @@
+"""Aggregation: HiBench's SQL GROUP-BY workload (Table 3: bigdata).
+
+Two stages (paper Fig. 8c):
+
+0. **Scan + partial aggregation** -- reads ``uservisits``, extracts the
+   grouping key and partially aggregates map-side.  This stage is
+   compute-heavy (~68% CPU, Fig. 1 / section 4 L3), so *no* static thread
+   reduction helps (Fig. 4a: the default is best) -- reading fewer bytes per
+   second is never the bottleneck.
+1. **Final aggregation + save** -- merges partial sums and writes the
+   result (I/O-marked via ``saveAsTextFile``).
+
+The dynamic solution leaves stage 0 at full threads (the hill-climb reaches
+``cmax`` because no I/O congestion appears) and tunes stage 1, recovering
+the paper's modest 6.8%.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.context import SparkContext
+from repro.workloads.base import GiB, Workload
+
+
+def parse_visit(line: str):
+    fields = line.split(",")
+    return (fields[0], float(fields[2]))
+
+
+class Aggregation(Workload):
+    name = "aggregation"
+    category = "sql"
+    input_size = 17.87 * GiB  # Table 2
+    paper_io_activity = 37.44 * GiB
+
+    def __init__(self, scale: float = 1.0,
+                 num_partitions: Optional[int] = None) -> None:
+        super().__init__(scale)
+        self.num_partitions = num_partitions
+        self.input_path = "/hibench/aggregation/uservisits"
+        self.output_path = "/hibench/aggregation/output"
+
+    def _partitions(self, ctx: SparkContext) -> int:
+        if self.num_partitions is not None:
+            return self.num_partitions
+        return max(ctx.default_parallelism,
+                   int(ctx.default_parallelism * 16 * self.scale))
+
+    def _scan_partitions(self, ctx: SparkContext) -> int:
+        # Hive-on-Spark scans with very fine tasks (seconds each); the
+        # adaptive climb costs a fixed number of task *waves*, so fine tasks
+        # keep its overhead marginal on this compute-bound stage.
+        if self.num_partitions is not None:
+            return self.num_partitions
+        return max(ctx.default_parallelism,
+                   int(ctx.default_parallelism * 256 * self.scale))
+
+    def prepare(self, ctx: SparkContext) -> None:
+        size = self.scaled_input_size
+        # ~150 bytes per uservisits row.
+        ctx.register_synthetic_file(self.input_path, size, num_records=size / 150.0)
+
+    def prepare_small(self, ctx: SparkContext) -> None:
+        rows = []
+        for i in range(240):
+            key = f"1.2.3.{i % 6}"
+            rows.append(f"{key},2019-01-01,{float(i % 10)}")
+        ctx.write_text_file(self.input_path, rows)
+
+    def execute(self, ctx: SparkContext):
+        partitions = self._partitions(ctx)
+        lines = ctx.text_file(self.input_path, self._scan_partitions(ctx))
+        # Hive-style row parsing + expression evaluation dominate: the scan
+        # stage sits in the paper's ~68% CPU band at the default thread
+        # count, which is exactly why reducing its thread count only removes
+        # compute parallelism and never wins (Fig. 4a / limitation L3).
+        visits = lines.map(parse_visit, cpu_per_byte=2.2e-6, bytes_factor=0.9)
+        sums = visits.reduce_by_key(
+            lambda a, b: a + b,
+            partitions,
+            map_combine_factor=0.35,  # map-side partial aggregation
+            reduce_factor=0.4,
+            cpu_per_byte=4.0e-8,
+        )
+        sums.save_as_text_file(self.output_path, bytes_factor=1.0)
+        return self.output_path

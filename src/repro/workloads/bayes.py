@@ -1,0 +1,50 @@
+"""Naive Bayes training (Table 2: 3.50 GiB input, +180% I/O activity).
+
+Tokenise documents, shuffle term frequencies, then shuffle per-class
+aggregates -- two shuffle passes over a token stream that is larger than
+the compressed document input.
+"""
+
+from __future__ import annotations
+
+from repro.engine.context import SparkContext
+from repro.workloads.base import GiB, Workload
+
+
+class Bayes(Workload):
+    name = "bayes"
+    category = "ml"
+    input_size = 3.50 * GiB  # Table 2
+    paper_io_activity = 9.80 * GiB
+
+    def __init__(self, scale: float = 1.0) -> None:
+        super().__init__(scale)
+        self.input_path = "/hibench/bayes/documents"
+        self.output_path = "/hibench/bayes/model"
+
+    def prepare(self, ctx: SparkContext) -> None:
+        size = self.scaled_input_size
+        ctx.register_synthetic_file(self.input_path, size, num_records=size / 500.0)
+
+    def execute(self, ctx: SparkContext):
+        docs = ctx.text_file(self.input_path)
+        tokens = docs.flat_map(
+            lambda d: d.split(), fanout=60.0, bytes_factor=1.15,
+            cpu_per_byte=9.0e-8,
+        )
+        term_freq = tokens.map(lambda t: ((t, 0), 1), bytes_factor=1.0).reduce_by_key(
+            lambda a, b: a + b,
+            map_combine_factor=0.55,
+            reduce_factor=0.45,
+            cpu_per_byte=5.0e-8,
+        )
+        class_agg = term_freq.map(
+            lambda kv: (kv[0][1], kv[1]), bytes_factor=0.9,
+        ).reduce_by_key(
+            lambda a, b: a + b,
+            map_combine_factor=0.8,
+            reduce_factor=0.3,
+            cpu_per_byte=5.0e-8,
+        )
+        class_agg.save_as_text_file(self.output_path, bytes_factor=0.6)
+        return self.output_path

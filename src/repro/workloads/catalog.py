@@ -1,0 +1,65 @@
+"""Workload registry: the paper's Tables 2 and 3 in code."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.workloads.aggregation import Aggregation
+from repro.workloads.base import Workload
+from repro.workloads.bayes import Bayes
+from repro.workloads.join import Join
+from repro.workloads.lda import LDA
+from repro.workloads.nweight import NWeight
+from repro.workloads.pagerank import PageRank
+from repro.workloads.scan import Scan
+from repro.workloads.svm import SVM
+from repro.workloads.terasort import Terasort
+from repro.workloads.wordcount import WordCount
+
+#: name -> workload class; the nine Table 2 rows plus WordCount.
+WORKLOADS: Dict[str, Type[Workload]] = {
+    cls.name: cls
+    for cls in (
+        Aggregation,
+        Bayes,
+        Join,
+        LDA,
+        NWeight,
+        PageRank,
+        Scan,
+        SVM,
+        Terasort,
+        WordCount,
+    )
+}
+
+#: The nine applications of the paper's Table 2, in its row order.
+TABLE2_WORKLOADS: List[str] = [
+    "aggregation",
+    "bayes",
+    "join",
+    "lda",
+    "nweight",
+    "pagerank",
+    "scan",
+    "terasort",
+    "svm",
+]
+
+#: The four end-to-end evaluation applications (Table 3).
+TABLE3_WORKLOADS: List[str] = ["terasort", "join", "aggregation", "pagerank"]
+
+
+def workload_names() -> List[str]:
+    return sorted(WORKLOADS)
+
+
+def get_workload(name: str, **kwargs) -> Workload:
+    """Instantiate a workload by its registry name."""
+    try:
+        cls = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {', '.join(workload_names())}"
+        ) from None
+    return cls(**kwargs)

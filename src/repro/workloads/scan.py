@@ -1,0 +1,47 @@
+"""Scan: HiBench's SQL SELECT-* workload (Table 2 only).
+
+A single map-only job: read ``uservisits``, project columns, and write the
+result back to the DFS with HDFS-style 3x replication -- which is how a
+"scan" ends up moving 6.3x its input through the disks (Table 2: +530%).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.context import SparkContext
+from repro.workloads.base import GiB, Workload
+
+
+class Scan(Workload):
+    name = "scan"
+    category = "sql"
+    input_size = 17.87 * GiB  # Table 2
+    paper_io_activity = 112.56 * GiB
+
+    def __init__(self, scale: float = 1.0,
+                 num_partitions: Optional[int] = None) -> None:
+        super().__init__(scale)
+        self.num_partitions = num_partitions
+        self.input_path = "/hibench/scan/uservisits"
+        self.output_path = "/hibench/scan/output"
+
+    def prepare(self, ctx: SparkContext) -> None:
+        size = self.scaled_input_size
+        ctx.register_synthetic_file(self.input_path, size, num_records=size / 150.0)
+        # HiBench writes scan output through Hive with replication 3.
+        ctx.conf.set("repro.output.replication", 3)
+
+    def prepare_small(self, ctx: SparkContext) -> None:
+        ctx.write_text_file(
+            self.input_path,
+            [f"url{i},2019-01-01,{float(i)}" for i in range(100)],
+        )
+
+    def execute(self, ctx: SparkContext):
+        lines = ctx.text_file(self.input_path, self.num_partitions)
+        projected = lines.map(
+            lambda line: line, cpu_per_byte=3.0e-8, bytes_factor=1.55,
+        )
+        projected.save_as_text_file(self.output_path)
+        return self.output_path

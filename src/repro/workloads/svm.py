@@ -1,0 +1,53 @@
+"""SVM training (Table 2: 107.29 GiB input, +90% I/O activity).
+
+The training set is read once and cached, but it exceeds executor memory, so
+roughly half of it spills to local disk and is re-read by the first gradient
+pass; subsequent passes aggregate small gradient vectors.  Net effect:
+~1.9x the input moves through the disks, the paper's +90%.
+"""
+
+from __future__ import annotations
+
+from repro.engine.context import SparkContext
+from repro.workloads.base import GiB, Workload
+
+
+class SVM(Workload):
+    name = "svm"
+    category = "ml"
+    input_size = 107.29 * GiB  # Table 2
+    paper_io_activity = 203.92 * GiB
+
+    def __init__(self, scale: float = 1.0, iterations: int = 3) -> None:
+        super().__init__(scale)
+        if iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
+        self.iterations = iterations
+        self.input_path = "/hibench/svm/samples"
+        self.output_path = "/hibench/svm/model"
+
+    def prepare(self, ctx: SparkContext) -> None:
+        size = self.scaled_input_size
+        ctx.register_synthetic_file(self.input_path, size, num_records=size / 1000.0)
+
+    def execute(self, ctx: SparkContext):
+        samples = ctx.text_file(self.input_path)
+        vectors = samples.map(
+            lambda s: (hash(s), s), cpu_per_byte=7.0e-8, bytes_factor=0.9,
+        )
+        # The cache-overflow spill + re-read shows up as one repartitioning
+        # pass over roughly half the vectorised data.
+        partitioned = vectors.map_values(
+            lambda v: v, bytes_factor=0.45, cpu_per_byte=2.0e-8,
+        ).reduce_by_key(lambda a, b: a, reduce_factor=1.0, cpu_per_byte=3.0e-8)
+        gradients = partitioned
+        for _iteration in range(self.iterations):
+            gradients = gradients.map_values(
+                lambda v: v, bytes_factor=0.02, cpu_per_byte=9.0e-8,
+            ).reduce_by_key(
+                lambda a, b: a,
+                reduce_factor=1.0,
+                cpu_per_byte=2.0e-8,
+            )
+        gradients.save_as_text_file(self.output_path, bytes_factor=0.1)
+        return self.output_path

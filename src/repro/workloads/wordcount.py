@@ -1,0 +1,58 @@
+"""WordCount: the canonical micro workload (used by the quickstart example).
+
+Map-side combining shrinks the shuffle dramatically (word frequencies are
+heavy-tailed), making this a read-dominated two-stage job.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.context import SparkContext
+from repro.workloads.base import GiB, Workload
+
+
+class WordCount(Workload):
+    name = "wordcount"
+    category = "micro"
+    input_size = 32.0 * GiB
+    paper_io_activity = 0.0  # not part of the paper's Table 2
+
+    def __init__(self, scale: float = 1.0,
+                 num_partitions: Optional[int] = None) -> None:
+        super().__init__(scale)
+        self.num_partitions = num_partitions
+        self.input_path = "/hibench/wordcount/input"
+        self.output_path = "/hibench/wordcount/output"
+
+    def prepare(self, ctx: SparkContext) -> None:
+        size = self.scaled_input_size
+        ctx.register_synthetic_file(self.input_path, size, num_records=size / 8.0)
+
+    def prepare_small(self, ctx: SparkContext, text: Optional[str] = None) -> None:
+        if text is None:
+            text = (
+                "the quick brown fox jumps over the lazy dog "
+                "the fox is quick and the dog is lazy"
+            )
+        ctx.write_text_file(self.input_path, text.split())
+
+    def execute(self, ctx: SparkContext):
+        words = ctx.text_file(self.input_path, self.num_partitions)
+        pairs = words.map(lambda w: (w, 1), cpu_per_byte=4.0e-8, bytes_factor=1.1)
+        counts = pairs.reduce_by_key(
+            lambda a, b: a + b,
+            num_partitions=self.num_partitions,
+            map_combine_factor=0.05,  # heavy-tailed words combine map-side
+            reduce_factor=0.5,
+        )
+        counts.save_as_text_file(self.output_path)
+        return self.output_path
+
+    def collect_small_counts(self, ctx: SparkContext):
+        """Run the small variant and return {word: count} (for tests)."""
+        self.prepare_small(ctx)
+        words = ctx.text_file(self.input_path, self.num_partitions)
+        pairs = words.map(lambda w: (w, 1))
+        counts = pairs.reduce_by_key(lambda a, b: a + b, self.num_partitions)
+        return dict(counts.collect())

@@ -1,0 +1,127 @@
+"""Unit tests for the MAPE-K roles (paper section 5)."""
+
+import pytest
+
+from repro.adaptive.mapek import (
+    Analyzer,
+    Decision,
+    IntervalResult,
+    KnowledgeBase,
+    Phase,
+    Planner,
+    congestion_index,
+)
+from repro.monitoring.strace import EpollReading
+
+
+def reading(wait, io_bytes, tasks=4, elapsed=10.0):
+    return EpollReading(
+        epoll_wait_seconds=wait, io_bytes=io_bytes,
+        tasks_completed=tasks, elapsed=elapsed,
+    )
+
+
+class TestCongestionIndex:
+    def test_zeta_is_mean_wait_over_throughput(self):
+        r = reading(wait=8.0, io_bytes=100.0, tasks=4, elapsed=10.0)
+        # mean wait 2.0s, throughput 10 B/s -> zeta 0.2
+        assert congestion_index(r) == pytest.approx(0.2)
+
+    def test_zero_io_means_zero_congestion(self):
+        assert congestion_index(reading(wait=0.0, io_bytes=0.0)) == 0.0
+
+    def test_wait_without_throughput_is_infinite(self):
+        assert congestion_index(reading(wait=5.0, io_bytes=0.0)) == float("inf")
+
+    def test_more_wait_same_throughput_is_worse(self):
+        low = congestion_index(reading(wait=1.0, io_bytes=100.0))
+        high = congestion_index(reading(wait=9.0, io_bytes=100.0))
+        assert high > low
+
+    def test_more_throughput_same_wait_is_better(self):
+        slow = congestion_index(reading(wait=4.0, io_bytes=50.0))
+        fast = congestion_index(reading(wait=4.0, io_bytes=500.0))
+        assert fast < slow
+
+
+class TestKnowledgeBase:
+    def test_history_records(self):
+        kb = KnowledgeBase(cmin=2, cmax=32, current_threads=2)
+        assert kb.previous is None
+        kb.record(IntervalResult(2, reading(1, 10), 0.5))
+        assert kb.previous.threads == 2
+
+
+class TestAnalyzer:
+    def make(self, tolerance=2.0):
+        kb = KnowledgeBase(cmin=2, cmax=32, current_threads=2)
+        return kb, Analyzer(kb, tolerance=tolerance)
+
+    def test_first_interval_always_climbs(self):
+        kb, analyzer = self.make()
+        decision = analyzer.analyze(reading(1.0, 100.0, tasks=2))
+        assert decision == Decision(4, settled=False, reason="climb")
+
+    def test_doubling_until_cmax(self):
+        kb, analyzer = self.make()
+        for expected in (4, 8, 16, 32):
+            decision = analyzer.analyze(
+                reading(0.1, 1000.0, tasks=kb.current_threads)
+            )
+            assert decision.threads == expected
+            kb.current_threads = decision.threads
+        final = analyzer.analyze(reading(0.1, 1000.0, tasks=32))
+        assert final.settled
+        assert final.reason == "reached-cmax"
+        assert final.threads == 32
+
+    def test_rollback_on_congestion_blowup(self):
+        kb, analyzer = self.make(tolerance=2.0)
+        analyzer.analyze(reading(1.0, 100.0, tasks=2))   # zeta = 0.05
+        kb.current_threads = 4
+        decision = analyzer.analyze(reading(8.0, 150.0, tasks=4))  # zeta ~ 0.13
+        assert decision.settled
+        assert decision.reason == "rollback"
+        assert decision.threads == 2  # back to the previous interval's size
+
+    def test_tolerance_permits_mild_growth(self):
+        kb, analyzer = self.make(tolerance=2.0)
+        analyzer.analyze(reading(1.0, 100.0, tasks=2))      # zeta = 0.05
+        kb.current_threads = 4
+        decision = analyzer.analyze(reading(3.0, 100.0, tasks=4))  # zeta 0.075
+        assert not decision.settled
+        assert decision.threads == 8
+
+    def test_tolerance_below_one_rejected(self):
+        kb = KnowledgeBase(cmin=2, cmax=32, current_threads=2)
+        with pytest.raises(ValueError):
+            Analyzer(kb, tolerance=0.5)
+
+    def test_cmax_not_exceeded_by_doubling(self):
+        kb = KnowledgeBase(cmin=2, cmax=12, current_threads=8)
+        analyzer = Analyzer(kb)
+        decision = analyzer.analyze(reading(0.1, 1000.0, tasks=8))
+        assert decision.threads == 12
+
+
+class TestPlanner:
+    def test_resize_plan_notifies_scheduler(self):
+        kb = KnowledgeBase(cmin=2, cmax=32, current_threads=2)
+        planner = Planner(kb)
+        plan = planner.plan(Decision(4, settled=False, reason="climb"))
+        assert plan.resize_to == 4
+        assert plan.notify_scheduler
+
+    def test_no_change_no_notification(self):
+        kb = KnowledgeBase(cmin=2, cmax=32, current_threads=32)
+        planner = Planner(kb)
+        plan = planner.plan(Decision(32, settled=True, reason="reached-cmax"))
+        assert plan.resize_to is None
+        assert not plan.notify_scheduler
+        assert kb.phase is Phase.SETTLED
+
+    def test_settling_freezes_phase(self):
+        kb = KnowledgeBase(cmin=2, cmax=32, current_threads=8)
+        planner = Planner(kb)
+        planner.plan(Decision(4, settled=True, reason="rollback"))
+        assert kb.phase is Phase.SETTLED

@@ -1,0 +1,151 @@
+"""Integration tests for the three pool-size policies on the live engine."""
+
+import pytest
+
+from repro.adaptive import AdaptivePolicy, BestFitPolicy, StaticIOPolicy
+from repro.engine import SparkConf
+from tests.engine.conftest import make_context
+
+MB = 1024.0**2
+
+
+def shuffle_job(ctx, partitions=8):
+    """textFile -> shuffle -> save: one I/O stage, one shuffle+save stage."""
+    rdd = ctx.text_file("/in", partitions).map(lambda x: (x, 1)).reduce_by_key(
+        lambda a, b: a + b, partitions
+    )
+    rdd.save_as_text_file("/out")
+    return ctx
+
+
+def make_ctx(policy_factory, conf=None, cores=8):
+    ctx = make_context(num_nodes=2, cores=cores, conf=conf,
+                       policy_factory=policy_factory)
+    ctx.register_synthetic_file("/in", 256 * MB, num_records=2e5)
+    return ctx
+
+
+class TestStaticIOPolicy:
+    def test_io_stages_get_configured_threads(self):
+        ctx = make_ctx(lambda ex: StaticIOPolicy(2))
+        shuffle_job(ctx, 16)
+        read_stage, save_stage = ctx.recorder.stages
+        assert read_stage.is_io_marked
+        assert save_stage.is_io_marked  # saveAsTextFile marks it
+        assert all(m.pool_size_at_launch == 2 for m in read_stage.tasks)
+        assert all(m.pool_size_at_launch == 2 for m in save_stage.tasks)
+
+    def test_non_io_stages_keep_default(self):
+        ctx = make_ctx(lambda ex: StaticIOPolicy(2))
+        # shuffle -> count: the reduce stage has no explicit I/O markers.
+        rdd = ctx.text_file("/in", 8).map(lambda x: (x, 1)).reduce_by_key(
+            lambda a, b: a + b, 8
+        )
+        rdd.count()
+        reduce_stage = ctx.recorder.stages[1]
+        assert not reduce_stage.is_io_marked
+        assert all(m.pool_size_at_launch == 8 for m in reduce_stage.tasks)
+
+    def test_threads_default_from_conf(self):
+        conf = SparkConf({"repro.static.io.threads": 4})
+        ctx = make_ctx(lambda ex: StaticIOPolicy(), conf=conf)
+        shuffle_job(ctx)
+        read_stage = ctx.recorder.stages[0]
+        assert all(m.pool_size_at_launch == 4 for m in read_stage.tasks)
+
+    def test_invalid_thread_count_rejected(self):
+        with pytest.raises(ValueError):
+            StaticIOPolicy(0)
+
+
+class TestBestFitPolicy:
+    def test_per_stage_ordinal_sizes(self):
+        ctx = make_ctx(lambda ex: BestFitPolicy({0: 2, 1: 4}))
+        shuffle_job(ctx, 16)
+        first, second = ctx.recorder.stages
+        assert all(m.pool_size_at_launch == 2 for m in first.tasks)
+        assert all(m.pool_size_at_launch == 4 for m in second.tasks)
+
+    def test_unmapped_stage_uses_default(self):
+        ctx = make_ctx(lambda ex: BestFitPolicy({0: 2}), cores=8)
+        shuffle_job(ctx, 16)
+        second = ctx.recorder.stages[1]
+        assert all(m.pool_size_at_launch == 8 for m in second.tasks)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            BestFitPolicy({0: -1})
+
+
+class TestAdaptivePolicy:
+    def test_starts_at_cmin(self):
+        ctx = make_ctx(lambda ex: AdaptivePolicy(cmin=2))
+        shuffle_job(ctx, 64)
+        first_stage = ctx.recorder.stages[0]
+        start_events = [e for e in first_stage.pool_events
+                        if e.reason == "stage-start"]
+        assert all(e.pool_size == 2 for e in start_events)
+
+    def test_climbs_beyond_cmin(self):
+        ctx = make_ctx(lambda ex: AdaptivePolicy())
+        shuffle_job(ctx, 64)
+        stage = ctx.recorder.stages[0]
+        assert max(e.pool_size for e in stage.pool_events) > 2
+
+    def test_intervals_recorded_with_sensor_data(self):
+        ctx = make_ctx(lambda ex: AdaptivePolicy())
+        shuffle_job(ctx, 64)
+        stage = ctx.recorder.stages[0]
+        assert stage.intervals
+        for interval in stage.intervals:
+            assert interval.threads >= 2
+            assert interval.duration > 0
+            assert interval.decision in ("climb", "rollback", "reached-cmax")
+
+    def test_interval_thread_sequence_doubles(self):
+        ctx = make_ctx(lambda ex: AdaptivePolicy())
+        shuffle_job(ctx, 64)
+        stage = ctx.recorder.stages[0]
+        for executor_id in (0, 1):
+            threads = [iv.threads for iv in stage.intervals
+                       if iv.executor_id == executor_id]
+            for previous, current in zip(threads, threads[1:]):
+                assert current == previous * 2
+
+    def test_respects_cmax(self):
+        ctx = make_ctx(lambda ex: AdaptivePolicy(cmin=2, cmax=4))
+        shuffle_job(ctx, 64)
+        for stage in ctx.recorder.stages:
+            assert all(e.pool_size <= 4 for e in stage.pool_events)
+
+    def test_each_stage_restarts_the_climb(self):
+        ctx = make_ctx(lambda ex: AdaptivePolicy())
+        shuffle_job(ctx, 64)
+        for stage in ctx.recorder.stages:
+            starts = [e for e in stage.pool_events if e.reason == "stage-start"]
+            assert all(e.pool_size == 2 for e in starts)
+
+    def test_driver_view_follows_resizes(self):
+        ctx = make_ctx(lambda ex: AdaptivePolicy())
+        shuffle_job(ctx, 64)
+        for ex in ctx.executors:
+            assert (
+                ctx.scheduler.registered_pool_size(ex.executor_id)
+                == ex.pool_size
+            )
+
+    def test_invalid_bounds_rejected(self):
+        from repro.adaptive.mapek import AdaptiveControlLoop
+
+        ctx = make_ctx(lambda ex: AdaptivePolicy())
+        with pytest.raises(ValueError):
+            AdaptiveControlLoop(ctx.executors[0], object(), cmin=0, cmax=4)
+        with pytest.raises(ValueError):
+            AdaptiveControlLoop(ctx.executors[0], object(), cmin=8, cmax=4)
+
+    def test_conf_controls_bounds(self):
+        conf = SparkConf({"repro.adaptive.cmin": 4, "repro.adaptive.cmax": 4})
+        ctx = make_ctx(lambda ex: AdaptivePolicy(), conf=conf)
+        shuffle_job(ctx, 64)
+        stage = ctx.recorder.stages[0]
+        assert all(e.pool_size == 4 for e in stage.pool_events)

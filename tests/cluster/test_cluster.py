@@ -1,0 +1,78 @@
+"""Tests for the cluster and node models."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, NodeSpec
+from repro.storage import SSD_PROFILE
+
+
+class TestNodeSpec:
+    def test_das5_defaults(self):
+        spec = NodeSpec()
+        assert spec.cores == 32
+        assert spec.memory_bytes == pytest.approx(56.0 * 1024**3)
+        assert spec.disk_profile.name == "hdd"
+
+    def test_invalid_cores_rejected(self):
+        with pytest.raises(ValueError):
+            NodeSpec(cores=0)
+
+    def test_invalid_speed_factor_rejected(self):
+        with pytest.raises(ValueError):
+            NodeSpec(disk_speed_factor=-1.0)
+
+
+class TestCluster:
+    def test_four_node_das5_shape(self):
+        cluster = Cluster(ClusterSpec(num_nodes=4))
+        assert cluster.num_nodes == 4
+        assert cluster.total_cores == 128
+        assert cluster.node_ids == [0, 1, 2, 3]
+
+    def test_das5_node_names(self):
+        cluster = Cluster(ClusterSpec(num_nodes=2))
+        assert [n.name for n in cluster.nodes] == ["node300", "node301"]
+
+    def test_nodes_have_resources(self):
+        cluster = Cluster(ClusterSpec(num_nodes=2))
+        node = cluster.node(0)
+        assert node.cpu.cores == 32
+        assert node.disk.profile.name == "hdd"
+        assert node.egress is cluster.fabric.egress(0)
+        assert node.ingress is cluster.fabric.ingress(0)
+
+    def test_variability_spreads_disk_speed(self):
+        cluster = Cluster(ClusterSpec(num_nodes=16, disk_sigma=0.15))
+        factors = [n.spec.disk_speed_factor for n in cluster.nodes]
+        assert max(factors) > min(factors)
+
+    def test_zero_sigma_gives_identical_nodes(self):
+        cluster = Cluster(ClusterSpec(num_nodes=4, disk_sigma=0.0, cpu_sigma=0.0))
+        assert all(n.spec.disk_speed_factor == 1.0 for n in cluster.nodes)
+        assert all(n.spec.cpu_speed_factor == 1.0 for n in cluster.nodes)
+
+    def test_same_seed_reproduces_cluster(self):
+        a = Cluster(ClusterSpec(num_nodes=4, seed=7))
+        b = Cluster(ClusterSpec(num_nodes=4, seed=7))
+        assert [n.spec.disk_speed_factor for n in a.nodes] == [
+            n.spec.disk_speed_factor for n in b.nodes
+        ]
+
+    def test_different_seed_changes_cluster(self):
+        a = Cluster(ClusterSpec(num_nodes=4, seed=7))
+        b = Cluster(ClusterSpec(num_nodes=4, seed=8))
+        assert [n.spec.disk_speed_factor for n in a.nodes] != [
+            n.spec.disk_speed_factor for n in b.nodes
+        ]
+
+    def test_ssd_cluster(self):
+        cluster = Cluster(ClusterSpec(num_nodes=2, node=NodeSpec(disk_profile=SSD_PROFILE)))
+        assert all(n.disk.profile.name == "ssd" for n in cluster.nodes)
+
+    def test_invalid_num_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(num_nodes=0)
+
+    def test_total_disk_bytes_starts_at_zero(self):
+        cluster = Cluster(ClusterSpec(num_nodes=3))
+        assert cluster.total_disk_bytes() == 0.0

@@ -1,0 +1,27 @@
+"""Shared fixtures for engine tests: small clusters and contexts."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, NodeSpec
+from repro.engine import SparkConf, SparkContext
+
+
+def make_context(num_nodes=2, cores=4, conf=None, policy_factory=None,
+                 seed=42):
+    spec = ClusterSpec(
+        num_nodes=num_nodes,
+        node=NodeSpec(cores=cores),
+        disk_sigma=0.0,
+        cpu_sigma=0.0,
+        seed=seed,
+    )
+    return SparkContext(
+        Cluster(spec),
+        conf=conf if conf is not None else SparkConf(),
+        policy_factory=policy_factory,
+    )
+
+
+@pytest.fixture
+def ctx():
+    return make_context()

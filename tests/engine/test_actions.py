@@ -1,0 +1,130 @@
+"""Tests for actions and the dataset catalog."""
+
+import pytest
+
+from repro.engine.actions import (
+    CollectAction,
+    CountAction,
+    ForeachAction,
+    ReduceAction,
+    SaveAction,
+    SketchAction,
+)
+from repro.engine.datasets import DatasetCatalog
+from repro.engine.sizing import SizeInfo
+from tests.engine.conftest import make_context
+
+MB = 1024.0**2
+
+
+class TestSaveAction:
+    def test_output_marker(self):
+        assert SaveAction("/out").writes_output
+        assert not CollectAction.writes_output
+
+    def test_negative_bytes_factor_rejected(self):
+        with pytest.raises(ValueError):
+            SaveAction("/out", bytes_factor=-1.0)
+
+    def test_save_registers_materialised_output(self, ctx):
+        ctx.parallelize(["a", "b"], 1).save_as_text_file("/out")
+        info = ctx.datasets.describe("/out")
+        assert info.records_available
+        assert info.data == ["a", "b"]
+
+    def test_save_overwrites_previous_output(self, ctx):
+        ctx.parallelize(["a"], 1).save_as_text_file("/out")
+        ctx.parallelize(["b", "c"], 1).save_as_text_file("/out")
+        assert ctx.datasets.describe("/out").data == ["b", "c"]
+
+    def test_save_synthetic_records_size_only(self, ctx):
+        ctx.register_synthetic_file("/in", 16 * MB, num_records=1e4)
+        ctx.text_file("/in", 2).save_as_text_file("/out")
+        info = ctx.datasets.describe("/out")
+        assert not info.records_available
+        assert info.size.bytes == pytest.approx(16 * MB)
+
+
+class TestSketchAction:
+    def test_samples_keys_per_partition(self, ctx):
+        pairs = [(i, i) for i in range(1000)]
+        rdd = ctx.parallelize(pairs, 4)
+        sample = ctx.run_job(rdd, SketchAction(sample_per_partition=10))
+        assert 20 <= len(sample) <= 48
+        assert all(isinstance(k, int) for k in sample)
+
+    def test_small_partitions_fully_sampled(self, ctx):
+        rdd = ctx.parallelize([(1, "a"), (2, "b")], 1)
+        sample = ctx.run_job(rdd, SketchAction(sample_per_partition=10))
+        assert sorted(sample) == [1, 2]
+
+    def test_synthetic_returns_none(self, ctx):
+        ctx.register_synthetic_file("/in", 16 * MB, num_records=1e4)
+        rdd = ctx.text_file("/in", 2).map(lambda x: (x, 1))
+        assert ctx.run_job(rdd, SketchAction()) is None
+
+
+class TestMiscActions:
+    def test_count_synthetic_vs_materialised(self, ctx):
+        ctx.register_synthetic_file("/in", 16 * MB, num_records=12345.0)
+        assert ctx.text_file("/in", 2).count() == pytest.approx(12345.0)
+        assert ctx.parallelize(range(7), 2).count() == 7
+
+    def test_reduce_requires_materialised(self, ctx):
+        ctx.register_synthetic_file("/in", 16 * MB, num_records=100.0)
+        rdd = ctx.text_file("/in", 2)
+        with pytest.raises(RuntimeError, match="materialised"):
+            ctx.run_job(rdd, ReduceAction(lambda a, b: a))
+
+    def test_foreach_returns_none(self, ctx):
+        assert ctx.parallelize([1], 1).foreach(lambda x: None) is None
+
+
+class TestDatasetCatalog:
+    def test_register_and_describe(self):
+        catalog = DatasetCatalog()
+        catalog.register_input("/a", SizeInfo(2, 10), records=["x", "y"])
+        info = catalog.describe("/a")
+        assert info.records_available
+        assert info.records == 2
+
+    def test_duplicate_input_rejected(self):
+        catalog = DatasetCatalog()
+        catalog.register_input("/a", SizeInfo(0, 0))
+        with pytest.raises(FileExistsError):
+            catalog.register_input("/a", SizeInfo(0, 0))
+
+    def test_record_count_mismatch_rejected(self):
+        catalog = DatasetCatalog()
+        with pytest.raises(ValueError):
+            catalog.register_input("/a", SizeInfo(3, 10), records=["only-one"])
+
+    def test_missing_path(self):
+        catalog = DatasetCatalog()
+        with pytest.raises(FileNotFoundError):
+            catalog.describe("/nope")
+        assert not catalog.exists("/nope")
+
+    def test_partition_records_contiguous_cover(self):
+        catalog = DatasetCatalog()
+        data = list(range(10))
+        catalog.register_input("/a", SizeInfo(10, 80), records=data)
+        info = catalog.describe("/a")
+        chunks = [info.partition_records(i, 3) for i in range(3)]
+        assert [x for chunk in chunks for x in chunk] == data
+
+    def test_partition_records_synthetic_is_none(self):
+        catalog = DatasetCatalog()
+        catalog.register_input("/a", SizeInfo(10, 80))
+        assert catalog.describe("/a").partition_records(0, 2) is None
+
+
+class TestContextDatasets:
+    def test_write_text_file_registers_both_layers(self, ctx):
+        ctx.write_text_file("/t", ["a", "b"])
+        assert ctx.dfs.exists("/t")
+        assert ctx.datasets.describe("/t").records == 2
+
+    def test_synthetic_file_validation(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.register_synthetic_file("/bad", -1.0, 10)

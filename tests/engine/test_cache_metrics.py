@@ -1,0 +1,140 @@
+"""Tests for the cache manager and metrics records."""
+
+import pytest
+
+from repro.engine.cache import CacheManager
+from repro.engine.metrics import (
+    IntervalRecord,
+    PoolEvent,
+    RunRecorder,
+    StageRecord,
+    TaskMetrics,
+)
+from repro.engine.sizing import SizeInfo
+
+
+class TestCacheManager:
+    def test_data_round_trip(self):
+        cache = CacheManager()
+        cache.put(1, 0, ["a"])
+        assert cache.get(1, 0) == ["a"]
+        assert cache.get(1, 1) is None
+
+    def test_has_covers_data_and_sizes(self):
+        cache = CacheManager()
+        cache.put(1, 0, ["a"])
+        cache.put_size(2, 3, SizeInfo(1, 8))
+        assert cache.has(1, 0)
+        assert cache.has(2, 3)
+        assert not cache.has(2, 0)
+
+    def test_has_any(self):
+        cache = CacheManager()
+        assert not cache.has_any(5)
+        cache.put_size(5, 0, SizeInfo(0, 0))
+        assert cache.has_any(5)
+
+    def test_evict_rdd(self):
+        cache = CacheManager()
+        cache.put(1, 0, ["a"])
+        cache.put_size(1, 1, SizeInfo(1, 1))
+        cache.put(2, 0, ["b"])
+        cache.evict_rdd(1)
+        assert not cache.has_any(1)
+        assert cache.has(2, 0)
+
+    def test_clear(self):
+        cache = CacheManager()
+        cache.put(1, 0, ["a"])
+        cache.clear()
+        assert not cache.has_any(1)
+
+
+class TestTaskMetrics:
+    def make(self, **overrides):
+        base = dict(
+            stage_id=0, partition=0, executor_id=0, node_id=0,
+            launch_time=10.0, finish_time=25.0,
+            disk_read_bytes=100.0, disk_write_bytes=50.0,
+            shuffle_read_bytes=30.0, shuffle_write_bytes=50.0,
+            output_write_bytes=0.0,
+        )
+        base.update(overrides)
+        return TaskMetrics(**base)
+
+    def test_duration(self):
+        assert self.make().duration == 15.0
+
+    def test_total_io_bytes(self):
+        assert self.make().total_io_bytes == 230.0
+
+
+class TestIntervalRecord:
+    def make(self, threads=4, wait=8.0, io_bytes=100.0, duration=10.0):
+        return IntervalRecord(
+            executor_id=0, stage_id=0, threads=threads,
+            start_time=0.0, end_time=duration,
+            epoll_wait=wait, io_bytes=io_bytes,
+        )
+
+    def test_throughput(self):
+        assert self.make().throughput == pytest.approx(10.0)
+
+    def test_congestion_normalised_by_threads(self):
+        record = self.make(threads=4, wait=8.0)
+        # mean wait 2.0 over throughput 10 -> 0.2
+        assert record.congestion == pytest.approx(0.2)
+
+    def test_zero_duration(self):
+        record = self.make(duration=0.0, wait=0.0, io_bytes=0.0)
+        assert record.throughput == 0.0
+        assert record.congestion == 0.0
+
+    def test_wait_without_bytes_is_infinite(self):
+        record = self.make(io_bytes=0.0)
+        assert record.congestion == float("inf")
+
+
+class TestStageRecord:
+    def make_stage(self):
+        record = StageRecord(
+            stage_id=3, name="map", is_io_marked=True, num_tasks=4,
+            start_time=100.0, end_time=160.0,
+        )
+        record.pool_events.extend([
+            PoolEvent(time=100.0, executor_id=0, stage_id=3, pool_size=2),
+            PoolEvent(time=100.0, executor_id=1, stage_id=3, pool_size=2),
+            PoolEvent(time=120.0, executor_id=0, stage_id=3, pool_size=4),
+        ])
+        return record
+
+    def test_duration(self):
+        assert self.make_stage().duration == 60.0
+
+    def test_final_pool_sizes_takes_last_event(self):
+        sizes = self.make_stage().final_pool_sizes()
+        assert sizes == {0: 4, 1: 2}
+
+    def test_total_threads(self):
+        assert self.make_stage().total_threads_used() == 6
+
+
+class TestRunRecorder:
+    def test_current_stage_open_until_closed(self):
+        recorder = RunRecorder()
+        record = StageRecord(0, "s", False, 1, start_time=0.0)
+        recorder.begin_stage(record)
+        assert recorder.current_stage is record
+        record.end_time = 5.0
+        assert recorder.current_stage is None
+
+    def test_stage_lookup(self):
+        recorder = RunRecorder()
+        record = StageRecord(7, "s", False, 1, start_time=0.0, end_time=1.0)
+        recorder.begin_stage(record)
+        assert recorder.stage(7) is record
+        with pytest.raises(KeyError):
+            recorder.stage(8)
+
+    def test_total_runtime_empty(self):
+        assert RunRecorder().total_runtime == 0.0

@@ -1,0 +1,95 @@
+"""Tests for the configuration registry (paper Table 1)."""
+
+import pytest
+
+from repro.engine.conf import (
+    CATEGORY_ADAPTIVE,
+    FUNCTIONAL_CATEGORIES,
+    SparkConf,
+)
+
+
+class TestRegistry:
+    def test_table1_counts(self):
+        counts = SparkConf.category_counts()
+        assert counts == {
+            "Shuffle": 19,
+            "Compression and Serialization": 16,
+            "Memory Management": 14,
+            "Execution Behavior": 14,
+            "Network": 13,
+            "Scheduling": 32,
+            "Dynamic Allocation": 9,
+        }
+
+    def test_total_is_117(self):
+        assert len(SparkConf.functional_parameters()) == 117
+
+    def test_registry_keys_unique(self):
+        keys = [p.key for p in SparkConf.registry()]
+        assert len(keys) == len(set(keys))
+
+    def test_adaptive_parameters_not_counted_as_functional(self):
+        adaptive = SparkConf.parameters_in_category(CATEGORY_ADAPTIVE)
+        assert adaptive
+        assert all(not p.is_functional for p in adaptive)
+
+    def test_every_functional_category_nonempty(self):
+        for category in FUNCTIONAL_CATEGORIES:
+            assert SparkConf.parameters_in_category(category)
+
+    def test_describe_known_parameter(self):
+        param = SparkConf.describe("spark.executor.cores")
+        assert param.category == "Execution Behavior"
+
+    def test_describe_unknown_parameter(self):
+        with pytest.raises(KeyError):
+            SparkConf.describe("spark.not.a.real.key")
+
+    def test_all_parameters_have_descriptions(self):
+        for param in SparkConf.registry():
+            assert param.description, param.key
+
+
+class TestValues:
+    def test_get_returns_registered_default(self):
+        conf = SparkConf()
+        assert conf.get("spark.task.cpus") == 1
+        assert conf.get("repro.adaptive.cmin") == 2
+
+    def test_set_and_get(self):
+        conf = SparkConf()
+        conf.set("spark.executor.cores", 8)
+        assert conf.get("spark.executor.cores") == 8
+        assert conf.is_set("spark.executor.cores")
+
+    def test_set_unknown_key_rejected(self):
+        conf = SparkConf()
+        with pytest.raises(KeyError):
+            conf.set("spark.tpyo.key", 1)
+
+    def test_constructor_overrides(self):
+        conf = SparkConf({"repro.adaptive.cmin": 4})
+        assert conf.get("repro.adaptive.cmin") == 4
+
+    def test_get_with_caller_default(self):
+        conf = SparkConf()
+        assert conf.get("spark.cores.max", default=64) == 64
+
+    def test_set_returns_self_for_chaining(self):
+        conf = SparkConf()
+        assert conf.set("spark.task.cpus", 2) is conf
+
+    def test_copy_is_independent(self):
+        conf = SparkConf({"spark.task.cpus": 2})
+        clone = conf.copy()
+        clone.set("spark.task.cpus", 4)
+        assert conf.get("spark.task.cpus") == 2
+        assert clone.get("spark.task.cpus") == 4
+
+    def test_explicit_items_sorted(self):
+        conf = SparkConf()
+        conf.set("spark.task.cpus", 2)
+        conf.set("spark.executor.cores", 16)
+        keys = [k for k, _v in conf.explicit_items()]
+        assert keys == sorted(keys)

@@ -1,0 +1,144 @@
+"""Tests for stage construction from RDD lineage."""
+
+import pytest
+
+from repro.engine.actions import CollectAction, CountAction, SaveAction
+from repro.engine.partitioner import HashPartitioner
+from tests.engine.conftest import make_context
+
+MB = 1024.0**2
+
+
+@pytest.fixture
+def ctx():
+    context = make_context()
+    context.register_synthetic_file("/in", 64 * MB, num_records=1e5)
+    return context
+
+
+class TestStageCutting:
+    def test_narrow_job_is_single_stage(self, ctx):
+        rdd = ctx.text_file("/in", 2).map(lambda x: x).filter(lambda x: True)
+        stages = ctx.dag.build_stages(rdd, CountAction())
+        assert len(stages) == 1
+        assert stages[0].is_result_stage
+
+    def test_one_shuffle_two_stages(self, ctx):
+        rdd = ctx.text_file("/in", 2).map(lambda x: (x, 1)).reduce_by_key(
+            lambda a, b: a + b, 4
+        )
+        stages = ctx.dag.build_stages(rdd, CountAction())
+        assert len(stages) == 2
+        map_stage, result_stage = stages
+        assert map_stage.shuffle_dep is not None
+        assert map_stage.num_tasks == 2
+        assert result_stage.is_result_stage
+        assert result_stage.num_tasks == 4
+        assert result_stage.parents == [map_stage]
+
+    def test_chained_shuffles(self, ctx):
+        rdd = (
+            ctx.text_file("/in", 2)
+            .map(lambda x: (x, 1))
+            .reduce_by_key(lambda a, b: a + b, 4)
+            .map(lambda kv: (kv[1], kv[0]))
+            .group_by_key(2)
+        )
+        stages = ctx.dag.build_stages(rdd, CollectAction())
+        assert len(stages) == 3
+        assert [s.num_tasks for s in stages] == [2, 4, 2]
+
+    def test_join_produces_two_parent_stages(self, ctx):
+        left = ctx.text_file("/in", 2).map(lambda x: (x, 1))
+        right = ctx.text_file("/in", 2).map(lambda x: (x, 2))
+        joined = left.join(right, 4)
+        stages = ctx.dag.build_stages(joined, CountAction())
+        assert len(stages) == 3
+        assert len(stages[-1].parents) == 2
+
+    def test_shared_shuffle_stage_deduplicated(self, ctx):
+        base = ctx.text_file("/in", 2).map(lambda x: (x, 1)).reduce_by_key(
+            lambda a, b: a + b, 2
+        )
+        left = base.map_values(lambda v: v)
+        right = base.map_values(lambda v: -v)
+        joined = left.cogroup(right)
+        stages = ctx.dag.build_stages(joined, CountAction())
+        # base's map stage appears once, not twice.
+        assert len(stages) == 2
+
+    def test_completed_shuffle_stages_skipped_on_second_job(self, ctx):
+        rdd = ctx.text_file("/in", 2).map(lambda x: (x, 1)).reduce_by_key(
+            lambda a, b: a + b, 2
+        )
+        rdd.count()
+        stages = ctx.dag.build_stages(rdd, CountAction())
+        assert len(stages) == 1  # the map stage is skipped
+
+    def test_stage_ids_monotonic(self, ctx):
+        rdd = ctx.text_file("/in", 2).map(lambda x: (x, 1)).reduce_by_key(
+            lambda a, b: a + b, 2
+        )
+        stages = ctx.dag.build_stages(rdd, CountAction())
+        ids = [s.stage_id for s in stages]
+        assert ids == sorted(ids)
+
+
+class TestIoMarking:
+    def test_read_stage_marked(self, ctx):
+        rdd = ctx.text_file("/in", 2).map(lambda x: (x, 1)).reduce_by_key(
+            lambda a, b: a + b, 2
+        )
+        stages = ctx.dag.build_stages(rdd, CountAction())
+        assert stages[0].is_io_marked      # contains textFile
+        assert not stages[1].is_io_marked  # pure shuffle + count
+
+    def test_save_stage_marked(self, ctx):
+        rdd = ctx.text_file("/in", 2).map(lambda x: (x, 1)).reduce_by_key(
+            lambda a, b: a + b, 2
+        )
+        stages = ctx.dag.build_stages(rdd, SaveAction("/out"))
+        assert stages[1].is_io_marked  # saveAsTextFile marks the stage
+
+    def test_shuffle_only_stage_not_marked(self, ctx):
+        """Limitation L2: shuffle spill volume does not mark a stage."""
+        rdd = (
+            ctx.text_file("/in", 2)
+            .map(lambda x: (x, 1))
+            .reduce_by_key(lambda a, b: a + b, 2)
+            .map(lambda kv: kv)
+            .group_by_key(2)
+        )
+        stages = ctx.dag.build_stages(rdd, CountAction())
+        middle = stages[1]
+        assert middle.shuffle_dep is not None
+        assert not middle.is_io_marked
+
+
+class TestRangeSampling:
+    def test_unbounded_range_partitioners_found(self, ctx):
+        rdd = ctx.text_file("/in", 2).map(lambda x: (x, 1)).sort_by_key(2)
+        deps = ctx.dag.unbounded_range_partitioners(rdd)
+        assert len(deps) == 1
+
+    def test_sampling_job_runs_before_main_job(self, ctx):
+        rdd = ctx.text_file("/in", 2).map(lambda x: (x, 1)).sort_by_key(2)
+        rdd.count()
+        # Sampling job (1 stage) + main job (map + result): 3 stage records.
+        assert len(ctx.recorder.stages) == 3
+        assert ctx.dag.unbounded_range_partitioners(rdd) == []
+
+    def test_hash_partitioner_needs_no_sampling(self, ctx):
+        rdd = ctx.text_file("/in", 2).map(lambda x: (x, 1)).partition_by(
+            HashPartitioner(2)
+        )
+        assert ctx.dag.unbounded_range_partitioners(rdd) == []
+
+
+class TestStageValidation:
+    def test_stage_must_be_map_or_result(self, ctx):
+        from repro.engine.stage import Stage
+
+        rdd = ctx.text_file("/in", 2)
+        with pytest.raises(ValueError):
+            Stage(0, rdd, parents=[])

@@ -1,0 +1,126 @@
+"""Unit tests for executor op-building, chunking, and determinism."""
+
+import pytest
+
+from repro.engine.executor import _IoOp, _round_robin
+from repro.engine.stage import DfsRead, TaskPlan
+from tests.engine.conftest import make_context
+
+MB = 1024.0**2
+
+
+def make_plan(**overrides):
+    base = dict(stage_id=0, partition=0)
+    base.update(overrides)
+    return TaskPlan(**base)
+
+
+@pytest.fixture
+def executor():
+    ctx = make_context()
+    return ctx.executors[0]
+
+
+class TestRoundRobin:
+    def test_interleaves_lists(self):
+        merged = _round_robin([[1, 2, 3], [10, 20], [100]])
+        assert merged == [1, 10, 100, 2, 20, 3]
+
+    def test_empty_input(self):
+        assert _round_robin([]) == []
+        assert _round_robin([[]]) == []
+
+
+class TestBuildOps:
+    def test_local_read_when_node_is_preferred(self, executor):
+        plan = make_plan(dfs_reads=[DfsRead(10 * MB, (0, 1))])
+        ops = executor._build_ops(plan)
+        assert ops == [_IoOp("dfs_read", 10 * MB)]
+
+    def test_remote_read_targets_replica_holder(self, executor):
+        plan = make_plan(dfs_reads=[DfsRead(10 * MB, (1,))])
+        ops = executor._build_ops(plan)
+        assert ops[0].kind == "dfs_read"
+        assert ops[0].src_node == 1
+
+    def test_no_preference_reads_locally(self, executor):
+        plan = make_plan(dfs_reads=[DfsRead(10 * MB, ())])
+        assert executor._build_ops(plan)[0].src_node is None
+
+    def test_all_op_kinds_emitted(self, executor):
+        plan = make_plan(
+            dfs_reads=[DfsRead(1 * MB, (0,))],
+            shuffle_fetches=[(1, 2 * MB)],
+            shuffle_write_bytes=3 * MB,
+            output_write_bytes=4 * MB,
+        )
+        kinds = [op.kind for op in executor._build_ops(plan)]
+        assert kinds == ["dfs_read", "shuffle_fetch", "shuffle_write", "dfs_write"]
+
+
+class TestChunkOps:
+    def test_pure_cpu_task_is_single_burst(self, executor):
+        chunks = executor._chunk_ops([], cpu_seconds=3.0)
+        assert chunks == [("cpu", 3.0, None)]
+
+    def test_empty_task_has_no_phases(self, executor):
+        assert executor._chunk_ops([], cpu_seconds=0.0) == []
+
+    def test_io_conserved_across_chunks(self, executor):
+        ops = [_IoOp("dfs_read", 100 * MB), _IoOp("shuffle_write", 50 * MB)]
+        chunks = executor._chunk_ops(ops, cpu_seconds=2.0)
+        read_total = sum(a for k, a, _s in chunks if k == "dfs_read")
+        write_total = sum(a for k, a, _s in chunks if k == "shuffle_write")
+        cpu_total = sum(a for k, a, _s in chunks if k == "cpu")
+        assert read_total == pytest.approx(100 * MB)
+        assert write_total == pytest.approx(50 * MB)
+        assert cpu_total == pytest.approx(2.0)
+
+    def test_reads_precede_writes(self, executor):
+        ops = [_IoOp("shuffle_write", 32 * MB), _IoOp("dfs_read", 32 * MB)]
+        chunks = executor._chunk_ops(ops, cpu_seconds=0.0)
+        kinds = [k for k, _a, _s in chunks if k != "cpu"]
+        first_write = kinds.index("shuffle_write")
+        assert "dfs_read" not in kinds[first_write:]
+
+    def test_max_chunks_respected(self, executor):
+        executor.ctx.conf.set("repro.task.max.chunks", 8)
+        ops = [_IoOp("dfs_read", 1024 * MB)]
+        chunks = executor._chunk_ops(ops, cpu_seconds=0.0)
+        io_chunks = [c for c in chunks if c[0] != "cpu"]
+        assert len(io_chunks) <= 8
+
+    def test_interleave_offset_rotates_sources(self, executor):
+        ops = [
+            _IoOp("shuffle_fetch", 8 * MB, src_node=0),
+            _IoOp("shuffle_fetch", 8 * MB, src_node=1),
+        ]
+        first = executor._chunk_ops(ops, 0.0, interleave_offset=0)
+        second = executor._chunk_ops(ops, 0.0, interleave_offset=1)
+        assert first[0][2] != second[0][2]
+
+    def test_cpu_interleaved_between_io_chunks(self, executor):
+        ops = [_IoOp("dfs_read", 64 * MB)]
+        chunks = executor._chunk_ops(ops, cpu_seconds=4.0)
+        kinds = [k for k, _a, _s in chunks]
+        # alternating io / cpu
+        assert kinds[0] == "dfs_read"
+        assert kinds[1] == "cpu"
+        assert kinds.count("cpu") == kinds.count("dfs_read")
+
+
+class TestDeterminism:
+    def run_workload(self, seed):
+        ctx = make_context(seed=seed)
+        ctx.register_synthetic_file("/in", 128 * MB, num_records=1e5)
+        rdd = ctx.text_file("/in", 8).map(lambda x: (x, 1)).reduce_by_key(
+            lambda a, b: a + b, 8
+        )
+        rdd.count()
+        return ctx.total_runtime
+
+    def test_same_seed_is_bit_identical(self):
+        assert self.run_workload(7) == self.run_workload(7)
+
+    def test_different_seed_changes_timing(self):
+        assert self.run_workload(7) != self.run_workload(8)

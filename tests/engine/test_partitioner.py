@@ -1,0 +1,84 @@
+"""Tests for hash and range partitioners."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine.partitioner import HashPartitioner, RangePartitioner
+
+
+class TestHashPartitioner:
+    def test_in_range(self):
+        p = HashPartitioner(7)
+        for key in ("a", "b", 42, (1, 2)):
+            assert 0 <= p.partition(key) < 7
+
+    def test_deterministic(self):
+        p = HashPartitioner(16)
+        assert p.partition("spark") == p.partition("spark")
+
+    def test_equality_by_partition_count(self):
+        assert HashPartitioner(4) == HashPartitioner(4)
+        assert HashPartitioner(4) != HashPartitioner(8)
+
+    def test_hashable(self):
+        assert len({HashPartitioner(4), HashPartitioner(4)}) == 1
+
+    def test_positive_partitions_required(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)
+
+    @given(st.lists(st.integers(), min_size=1, max_size=200),
+           st.integers(min_value=1, max_value=32))
+    def test_every_key_lands_in_range(self, keys, partitions):
+        p = HashPartitioner(partitions)
+        for key in keys:
+            assert 0 <= p.partition(key) < partitions
+
+
+class TestRangePartitioner:
+    def test_unbounded_until_sampled(self):
+        p = RangePartitioner(4)
+        assert not p.has_bounds
+        with pytest.raises(RuntimeError):
+            p.partition("x")
+
+    def test_bounds_split_sorted_keys(self):
+        p = RangePartitioner(4)
+        p.set_bounds(list(range(100)))
+        assert p.has_bounds
+        indices = [p.partition(k) for k in range(100)]
+        assert indices == sorted(indices)  # ranges respect order
+        assert set(indices) == {0, 1, 2, 3}
+
+    def test_single_partition_needs_no_bounds(self):
+        p = RangePartitioner(1)
+        p.set_bounds([5, 1, 3])
+        assert p.partition("anything") == 0
+
+    def test_empty_sample_routes_everything_to_zero(self):
+        p = RangePartitioner(4)
+        p.set_bounds([])
+        assert p.partition("key") == 0
+
+    def test_unsorted_sample_accepted(self):
+        p = RangePartitioner(2)
+        p.set_bounds([9, 1, 5, 3, 7])
+        assert p.partition(0) == 0
+        assert p.partition(10) == 1
+
+    def test_identity_equality(self):
+        a = RangePartitioner(4)
+        b = RangePartitioner(4)
+        assert a == a
+        assert a != b  # bounds are data-dependent
+
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000),
+                    min_size=10, max_size=300),
+           st.integers(min_value=2, max_value=16))
+    def test_partitioning_preserves_key_order(self, sample, partitions):
+        p = RangePartitioner(partitions)
+        p.set_bounds(sample)
+        keys = sorted(set(sample))
+        indices = [p.partition(k) for k in keys]
+        assert indices == sorted(indices)
+        assert all(0 <= i < partitions for i in indices)

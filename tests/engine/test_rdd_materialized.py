@@ -1,0 +1,182 @@
+"""End-to-end correctness of the RDD API on materialised data.
+
+These tests run real records through the full engine (DAG scheduler, task
+scheduler, executors, shuffle) on the simulated cluster and verify that the
+*semantics* match Spark's.
+"""
+
+import pytest
+
+from repro.engine.rdd import SyntheticDataError
+from tests.engine.conftest import make_context
+
+
+class TestBasicTransformations:
+    def test_map_collect(self, ctx):
+        rdd = ctx.parallelize([1, 2, 3, 4], 2).map(lambda x: x * 10)
+        assert sorted(rdd.collect()) == [10, 20, 30, 40]
+
+    def test_filter(self, ctx):
+        rdd = ctx.parallelize(range(10), 3).filter(lambda x: x % 2 == 0)
+        assert sorted(rdd.collect()) == [0, 2, 4, 6, 8]
+
+    def test_flat_map(self, ctx):
+        rdd = ctx.parallelize(["a b", "c d e"], 2).flat_map(str.split)
+        assert sorted(rdd.collect()) == ["a", "b", "c", "d", "e"]
+
+    def test_map_partitions(self, ctx):
+        rdd = ctx.parallelize(range(8), 2).map_partitions(lambda p: [sum(p)])
+        assert sum(rdd.collect()) == 28
+
+    def test_key_by(self, ctx):
+        rdd = ctx.parallelize(["apple", "fig"], 1).key_by(len)
+        assert sorted(rdd.collect()) == [(3, "fig"), (5, "apple")]
+
+    def test_map_values(self, ctx):
+        rdd = ctx.parallelize([("a", 1), ("b", 2)], 1).map_values(lambda v: -v)
+        assert sorted(rdd.collect()) == [("a", -1), ("b", -2)]
+
+    def test_union(self, ctx):
+        a = ctx.parallelize([1, 2], 1)
+        b = ctx.parallelize([3, 4], 2)
+        union = a.union(b)
+        assert union.num_partitions == 3
+        assert sorted(union.collect()) == [1, 2, 3, 4]
+
+    def test_sample_fraction_bounds(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.parallelize([1], 1).sample(0.0)
+        with pytest.raises(ValueError):
+            ctx.parallelize([1], 1).sample(1.5)
+
+
+class TestActions:
+    def test_count(self, ctx):
+        assert ctx.parallelize(range(17), 4).count() == 17
+
+    def test_reduce(self, ctx):
+        assert ctx.parallelize(range(1, 6), 2).reduce(lambda a, b: a * b) == 120
+
+    def test_reduce_empty_rdd_raises(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.parallelize([], 1).reduce(lambda a, b: a + b)
+
+    def test_foreach_side_effects(self, ctx):
+        seen = []
+        ctx.parallelize([1, 2, 3], 2).foreach(seen.append)
+        assert sorted(seen) == [1, 2, 3]
+
+    def test_save_and_reread(self, ctx):
+        ctx.parallelize(["x", "y", "z"], 2).save_as_text_file("/out")
+        assert ctx.dfs.exists("/out")
+        reread = ctx.text_file("/out", 2)
+        assert sorted(reread.collect()) == ["x", "y", "z"]
+
+
+class TestShuffles:
+    def test_reduce_by_key(self, ctx):
+        pairs = [("a", 1), ("b", 2), ("a", 3), ("c", 4), ("b", 5)]
+        result = dict(
+            ctx.parallelize(pairs, 3).reduce_by_key(lambda x, y: x + y, 2).collect()
+        )
+        assert result == {"a": 4, "b": 7, "c": 4}
+
+    def test_group_by_key(self, ctx):
+        pairs = [("a", 1), ("a", 2), ("b", 3)]
+        grouped = dict(ctx.parallelize(pairs, 2).group_by_key(2).collect())
+        assert sorted(grouped["a"]) == [1, 2]
+        assert grouped["b"] == [3]
+
+    def test_sort_by_key(self, ctx):
+        pairs = [(5, "e"), (1, "a"), (3, "c"), (2, "b"), (4, "d")]
+        result = ctx.parallelize(pairs, 3).sort_by_key(2).collect()
+        assert result == sorted(pairs)
+
+    def test_distinct(self, ctx):
+        values = [1, 2, 2, 3, 3, 3]
+        assert sorted(ctx.parallelize(values, 3).distinct(2).collect()) == [1, 2, 3]
+
+    def test_join(self, ctx):
+        left = ctx.parallelize([("a", 1), ("b", 2), ("a", 3)], 2)
+        right = ctx.parallelize([("a", "x"), ("c", "y")], 2)
+        joined = sorted(left.join(right, 2).collect())
+        assert joined == [("a", (1, "x")), ("a", (3, "x"))]
+
+    def test_cogroup(self, ctx):
+        left = ctx.parallelize([("a", 1)], 1)
+        right = ctx.parallelize([("a", 2), ("b", 3)], 1)
+        groups = dict(left.cogroup(right, 2).collect())
+        assert groups["a"] == ([1], [2])
+        assert groups["b"] == ([], [3])
+
+    def test_partition_by_is_noop_when_already_partitioned(self, ctx):
+        from repro.engine.partitioner import HashPartitioner
+
+        partitioner = HashPartitioner(2)
+        rdd = ctx.parallelize([("a", 1)], 1).partition_by(partitioner)
+        assert rdd.partition_by(partitioner) is rdd
+
+    def test_join_of_copartitioned_rdds_is_narrow(self, ctx):
+        from repro.engine.partitioner import HashPartitioner
+        from repro.engine.rdd import NarrowDependency
+
+        partitioner = HashPartitioner(2)
+        left = ctx.parallelize([("a", 1)], 1).partition_by(partitioner)
+        right = left.map_values(lambda v: v + 1)
+        cogrouped = left.cogroup(right)
+        assert all(isinstance(d, NarrowDependency) for d in cogrouped.deps)
+
+    def test_map_side_combine_reduces_bucket_records(self, ctx):
+        pairs = [("k", i) for i in range(100)]
+        rdd = ctx.parallelize(pairs, 1).reduce_by_key(lambda a, b: a + b, 2)
+        assert dict(rdd.collect()) == {"k": sum(range(100))}
+        # A single map partition with one key combines to one record.
+        status = ctx.map_output_tracker._shuffles[rdd.dep.shuffle_id].statuses[0]
+        assert sum(s.records for s in status.reducer_sizes) == 1
+
+
+class TestTextFiles:
+    def test_text_file_round_trip(self, ctx):
+        ctx.write_text_file("/data", ["line1", "line2", "line3"])
+        rdd = ctx.text_file("/data", 2)
+        assert sorted(rdd.collect()) == ["line1", "line2", "line3"]
+
+    def test_text_file_marks_input(self, ctx):
+        ctx.write_text_file("/data", ["x"])
+        assert ctx.text_file("/data", 1).reads_input
+
+    def test_partitions_are_contiguous_slices(self, ctx):
+        ctx.write_text_file("/data", [f"l{i}" for i in range(10)])
+        rdd = ctx.text_file("/data", 3)
+        partitions = [rdd.compute(i) for i in range(3)]
+        flattened = [line for part in partitions for line in part]
+        assert flattened == [f"l{i}" for i in range(10)]
+
+    def test_synthetic_file_cannot_materialise(self, ctx):
+        ctx.register_synthetic_file("/big", 1e9, num_records=1e6)
+        rdd = ctx.text_file("/big")
+        with pytest.raises(SyntheticDataError):
+            rdd.compute(0)
+
+
+class TestCaching:
+    def test_cached_rdd_computes_once(self, ctx):
+        calls = []
+
+        def tracked(x):
+            calls.append(x)
+            return x
+
+        rdd = ctx.parallelize([1, 2, 3, 4], 2).map(tracked).cache()
+        first = sorted(rdd.collect())
+        count_after_first = len(calls)
+        second = sorted(rdd.collect())
+        assert first == second == [1, 2, 3, 4]
+        assert len(calls) == count_after_first  # no recomputation
+
+    def test_runtime_advances_across_jobs(self, ctx):
+        rdd = ctx.parallelize(range(100), 4).map(lambda x: x)
+        rdd.count()
+        first = ctx.total_runtime
+        rdd.count()
+        assert ctx.total_runtime > first

@@ -1,0 +1,107 @@
+"""Analytic size propagation through synthetic lineages."""
+
+import pytest
+
+from repro.engine.actions import CountAction
+from tests.engine.conftest import make_context
+
+MB = 1024.0**2
+
+
+@pytest.fixture
+def ctx():
+    context = make_context()
+    context.register_synthetic_file("/in", 100 * MB, num_records=1e6)
+    return context
+
+
+class TestSourceSizes:
+    def test_partition_sizes_split_file(self, ctx):
+        rdd = ctx.text_file("/in", 4)
+        for split in range(4):
+            info = rdd.partition_size(split)
+            assert info.bytes == pytest.approx(25 * MB)
+            assert info.records == pytest.approx(2.5e5)
+
+    def test_total_size_matches_file(self, ctx):
+        rdd = ctx.text_file("/in", 8)
+        assert rdd.total_size().bytes == pytest.approx(100 * MB)
+
+    def test_default_partitioning_by_max_partition_bytes(self, ctx):
+        rdd = ctx.text_file("/in")  # 100 MB / 128 MB -> 1 partition
+        assert rdd.num_partitions == 1
+
+    def test_preferred_nodes_from_replicas(self, ctx):
+        rdd = ctx.text_file("/in", 2)
+        for split in range(2):
+            assert set(rdd.preferred_nodes(split)) == {0, 1}
+
+
+class TestFactorPropagation:
+    def test_map_bytes_factor(self, ctx):
+        rdd = ctx.text_file("/in", 4).map(lambda x: x, bytes_factor=0.5)
+        assert rdd.partition_size(0).bytes == pytest.approx(12.5 * MB)
+        assert rdd.partition_size(0).records == pytest.approx(2.5e5)
+
+    def test_filter_selectivity(self, ctx):
+        rdd = ctx.text_file("/in", 4).filter(lambda x: True, selectivity=0.2)
+        assert rdd.partition_size(0).records == pytest.approx(5e4)
+        assert rdd.partition_size(0).bytes == pytest.approx(5 * MB)
+
+    def test_flat_map_fanout(self, ctx):
+        rdd = ctx.text_file("/in", 4).flat_map(lambda x: [x], fanout=3.0)
+        assert rdd.partition_size(0).records == pytest.approx(7.5e5)
+
+    def test_chained_factors_multiply(self, ctx):
+        rdd = (
+            ctx.text_file("/in", 4)
+            .map(lambda x: x, bytes_factor=0.5)
+            .map(lambda x: x, bytes_factor=0.5)
+        )
+        assert rdd.partition_size(0).bytes == pytest.approx(6.25 * MB)
+
+    def test_negative_factor_rejected(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.text_file("/in", 4).map(lambda x: x, bytes_factor=-1.0)
+
+    def test_union_concatenates_sizes(self, ctx):
+        a = ctx.text_file("/in", 2)
+        b = ctx.text_file("/in", 2).map(lambda x: x, bytes_factor=0.1)
+        union = a.union(b)
+        assert union.num_partitions == 4
+        assert union.partition_size(0).bytes == pytest.approx(50 * MB)
+        assert union.partition_size(2).bytes == pytest.approx(5 * MB)
+
+
+class TestShuffleSizes:
+    def test_shuffled_sizes_available_after_map_stage(self, ctx):
+        pairs = ctx.text_file("/in", 4).map(lambda x: (x, 1))
+        reduced = pairs.reduce_by_key(
+            lambda a, b: a + b, 8, map_combine_factor=0.5, reduce_factor=0.5
+        )
+        ctx.run_job(reduced, CountAction())
+        # Map output = 100 MB * 0.5 combine, split over 8 reducers; reduce
+        # output applies the reduce factor on the fetched volume.
+        fetched = reduced.fetched_size(0)
+        assert fetched.bytes == pytest.approx(50 * MB / 8)
+        assert reduced.partition_size(0).bytes == pytest.approx(25 * MB / 8)
+
+    def test_count_on_synthetic_uses_analytic_records(self, ctx):
+        rdd = ctx.text_file("/in", 4).filter(lambda x: True, selectivity=0.5)
+        assert rdd.count() == pytest.approx(5e5)
+
+    def test_save_creates_output_file_with_scaled_bytes(self, ctx):
+        rdd = ctx.text_file("/in", 4)
+        rdd.save_as_text_file("/out", bytes_factor=2.0)
+        assert ctx.dfs.status("/out").size == pytest.approx(200 * MB)
+
+    def test_cpu_cost_positive_and_scales(self, ctx):
+        cheap = ctx.text_file("/in", 4).map(lambda x: x, cpu_per_byte=1e-9)
+        costly = ctx.text_file("/in", 4).map(lambda x: x, cpu_per_byte=1e-7)
+        assert 0 < cheap.cpu_cost(0) < costly.cpu_cost(0)
+
+    def test_mixing_materialised_and_synthetic_not_materialised(self, ctx):
+        ctx.write_text_file("/small", ["a", "b"])
+        synthetic = ctx.text_file("/in", 2).map(lambda x: (x, 1))
+        real = ctx.text_file("/small", 2).map(lambda x: (x, 1))
+        assert not synthetic.union(real).is_materialized

@@ -1,0 +1,162 @@
+"""Tests for map-output tracking and fetch planning."""
+
+import pytest
+
+from repro.engine.shuffle import MapOutputTracker, MapStatus
+from repro.engine.sizing import SizeInfo
+
+
+def explicit_status(map_id, node_id, sizes):
+    return MapStatus(
+        map_id=map_id,
+        node_id=node_id,
+        reducer_sizes=[SizeInfo(r, b) for r, b in sizes],
+    )
+
+
+class TestMapStatus:
+    def test_explicit_total_bytes(self):
+        status = explicit_status(0, 1, [(1, 10), (2, 20)])
+        assert status.total_bytes == 30
+        assert status.num_reducers == 2
+        assert status.size_for(1).bytes == 20
+
+    def test_uniform_splits_evenly(self):
+        status = MapStatus.uniform(0, 1, num_reducers=4, total=SizeInfo(8, 400))
+        assert status.size_for(0).bytes == 100
+        assert status.size_for(3).records == 2
+        assert status.total_bytes == pytest.approx(400)
+
+    def test_requires_exactly_one_representation(self):
+        with pytest.raises(ValueError):
+            MapStatus(map_id=0, node_id=0)
+        with pytest.raises(ValueError):
+            MapStatus(
+                map_id=0,
+                node_id=0,
+                reducer_sizes=[SizeInfo(1, 1)],
+                uniform_size=SizeInfo(1, 1),
+            )
+
+    def test_uniform_requires_reducer_count(self):
+        with pytest.raises(ValueError):
+            MapStatus(map_id=0, node_id=0, uniform_size=SizeInfo(1, 1))
+
+
+class TestTracker:
+    def test_register_allocates_increasing_ids(self):
+        tracker = MapOutputTracker()
+        assert tracker.register_shuffle(2, 2) == 0
+        assert tracker.register_shuffle(2, 2) == 1
+
+    def test_invalid_shapes_rejected(self):
+        tracker = MapOutputTracker()
+        with pytest.raises(ValueError):
+            tracker.register_shuffle(0, 2)
+        with pytest.raises(ValueError):
+            tracker.register_shuffle(2, 0)
+
+    def test_completeness_tracking(self):
+        tracker = MapOutputTracker()
+        sid = tracker.register_shuffle(2, 2)
+        assert not tracker.is_complete(sid)
+        tracker.register_map_output(sid, explicit_status(0, 0, [(1, 1), (1, 1)]))
+        assert not tracker.is_complete(sid)
+        tracker.register_map_output(sid, explicit_status(1, 1, [(1, 1), (1, 1)]))
+        assert tracker.is_complete(sid)
+
+    def test_reduce_size_sums_map_slices(self):
+        tracker = MapOutputTracker()
+        sid = tracker.register_shuffle(2, 2)
+        tracker.register_map_output(sid, explicit_status(0, 0, [(1, 10), (2, 20)]))
+        tracker.register_map_output(sid, explicit_status(1, 1, [(3, 30), (4, 40)]))
+        assert tracker.reduce_size(sid, 0).bytes == 40
+        assert tracker.reduce_size(sid, 1).records == 6
+
+    def test_fetch_plan_groups_by_node(self):
+        tracker = MapOutputTracker()
+        sid = tracker.register_shuffle(3, 1)
+        tracker.register_map_output(sid, explicit_status(0, 0, [(1, 10)]))
+        tracker.register_map_output(sid, explicit_status(1, 0, [(1, 15)]))
+        tracker.register_map_output(sid, explicit_status(2, 1, [(1, 5)]))
+        assert tracker.fetch_plan(sid, 0) == [(0, 25.0), (1, 5.0)]
+
+    def test_fetch_plan_omits_empty_sources(self):
+        tracker = MapOutputTracker()
+        sid = tracker.register_shuffle(2, 2)
+        tracker.register_map_output(sid, explicit_status(0, 0, [(1, 10), (0, 0)]))
+        tracker.register_map_output(sid, explicit_status(1, 1, [(0, 0), (1, 20)]))
+        assert tracker.fetch_plan(sid, 0) == [(0, 10.0)]
+        assert tracker.fetch_plan(sid, 1) == [(1, 20.0)]
+
+    def test_uniform_and_explicit_mix(self):
+        tracker = MapOutputTracker()
+        sid = tracker.register_shuffle(2, 2)
+        tracker.register_map_output(
+            sid, MapStatus.uniform(0, 0, num_reducers=2, total=SizeInfo(4, 40))
+        )
+        tracker.register_map_output(sid, explicit_status(1, 1, [(1, 10), (3, 30)]))
+        assert tracker.reduce_size(sid, 0).bytes == pytest.approx(30)
+        assert tracker.reduce_size(sid, 1).bytes == pytest.approx(50)
+        assert dict(tracker.fetch_plan(sid, 1)) == {0: 20.0, 1: 30.0}
+
+    def test_queries_require_completion(self):
+        tracker = MapOutputTracker()
+        sid = tracker.register_shuffle(2, 1)
+        tracker.register_map_output(sid, explicit_status(0, 0, [(1, 1)]))
+        with pytest.raises(RuntimeError, match="incomplete"):
+            tracker.reduce_size(sid, 0)
+
+    def test_wrong_reducer_count_rejected(self):
+        tracker = MapOutputTracker()
+        sid = tracker.register_shuffle(1, 3)
+        with pytest.raises(ValueError):
+            tracker.register_map_output(sid, explicit_status(0, 0, [(1, 1)]))
+
+    def test_out_of_range_map_id_rejected(self):
+        tracker = MapOutputTracker()
+        sid = tracker.register_shuffle(1, 1)
+        with pytest.raises(ValueError):
+            tracker.register_map_output(sid, explicit_status(7, 0, [(1, 1)]))
+
+    def test_double_registration_rejected(self):
+        tracker = MapOutputTracker()
+        sid = tracker.register_shuffle(2, 1)
+        tracker.register_map_output(sid, explicit_status(0, 0, [(1, 1)]))
+        with pytest.raises(ValueError, match="already registered"):
+            tracker.register_map_output(sid, explicit_status(0, 0, [(1, 1)]))
+
+    def test_unknown_shuffle_rejected(self):
+        tracker = MapOutputTracker()
+        with pytest.raises(KeyError):
+            tracker.is_complete(99)
+
+    def test_fetch_real_concatenates_buckets(self):
+        tracker = MapOutputTracker()
+        sid = tracker.register_shuffle(2, 2)
+        for map_id, buckets in ((0, [[("a", 1)], [("b", 2)]]),
+                                (1, [[("c", 3)], []])):
+            sizes = [SizeInfo(len(b), 8.0 * len(b)) for b in buckets]
+            tracker.register_map_output(
+                sid,
+                MapStatus(map_id=map_id, node_id=0, reducer_sizes=sizes,
+                          real_buckets=buckets),
+            )
+        assert tracker.fetch_real(sid, 0) == [("a", 1), ("c", 3)]
+        assert tracker.fetch_real(sid, 1) == [("b", 2)]
+
+    def test_fetch_real_requires_materialised_buckets(self):
+        tracker = MapOutputTracker()
+        sid = tracker.register_shuffle(1, 1)
+        tracker.register_map_output(sid, explicit_status(0, 0, [(1, 1)]))
+        with pytest.raises(RuntimeError, match="no materialised data"):
+            tracker.fetch_real(sid, 0)
+
+    def test_total_shuffle_bytes(self):
+        tracker = MapOutputTracker()
+        sid = tracker.register_shuffle(2, 2)
+        tracker.register_map_output(sid, explicit_status(0, 0, [(1, 10), (1, 20)]))
+        tracker.register_map_output(
+            sid, MapStatus.uniform(1, 1, num_reducers=2, total=SizeInfo(2, 12))
+        )
+        assert tracker.total_shuffle_bytes(sid) == pytest.approx(42.0)

@@ -1,0 +1,123 @@
+"""Tests for size bookkeeping, including property-based checks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine.sizing import (
+    SizeInfo,
+    ZERO_SIZE,
+    estimate_partition,
+    estimate_size,
+)
+
+
+class TestSizeInfo:
+    def test_addition(self):
+        total = SizeInfo(10, 100) + SizeInfo(5, 50)
+        assert total.records == 15
+        assert total.bytes == 150
+
+    def test_scaled(self):
+        scaled = SizeInfo(10, 100).scaled(0.5, 2.0)
+        assert scaled.records == 5
+        assert scaled.bytes == 200
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SizeInfo(-1, 0)
+        with pytest.raises(ValueError):
+            SizeInfo(0, -1)
+
+    def test_bytes_per_record(self):
+        assert SizeInfo(4, 100).bytes_per_record == 25.0
+        assert ZERO_SIZE.bytes_per_record == 0.0
+
+    def test_immutable(self):
+        info = SizeInfo(1, 2)
+        with pytest.raises(AttributeError):
+            info.records = 5
+
+    @given(
+        records=st.floats(min_value=0, max_value=1e12),
+        data_bytes=st.floats(min_value=0, max_value=1e15),
+        factor=st.floats(min_value=0, max_value=100),
+    )
+    def test_scaling_is_linear(self, records, data_bytes, factor):
+        info = SizeInfo(records, data_bytes)
+        scaled = info.scaled(factor, factor)
+        assert scaled.records == pytest.approx(records * factor)
+        assert scaled.bytes == pytest.approx(data_bytes * factor)
+
+    @given(
+        sizes=st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e9),
+                st.floats(min_value=0, max_value=1e9),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_addition_commutes_and_accumulates(self, sizes):
+        infos = [SizeInfo(r, b) for r, b in sizes]
+        forward = ZERO_SIZE
+        for info in infos:
+            forward = forward + info
+        backward = ZERO_SIZE
+        for info in reversed(infos):
+            backward = backward + info
+        assert forward.records == pytest.approx(backward.records)
+        assert forward.bytes == pytest.approx(backward.bytes)
+
+
+class TestEstimateSize:
+    def test_primitives(self):
+        assert estimate_size(None) == 1.0
+        assert estimate_size(True) == 1.0
+        assert estimate_size(42) == 8.0
+        assert estimate_size(3.14) == 8.0
+
+    def test_string_scales_with_length(self):
+        assert estimate_size("abcdef") > estimate_size("ab")
+
+    def test_list_scales_with_count(self):
+        small = estimate_size([1] * 10)
+        large = estimate_size([1] * 1000)
+        assert large > small * 50
+
+    def test_dict_includes_keys_and_values(self):
+        assert estimate_size({"key": "value"}) > estimate_size("key")
+
+    def test_nested_structures_terminate(self):
+        nested = [1]
+        for _ in range(10):
+            nested = [nested]
+        assert estimate_size(nested) > 0
+
+    def test_object_with_dict(self):
+        class Point:
+            def __init__(self):
+                self.x = 1.0
+                self.y = 2.0
+
+        assert estimate_size(Point()) >= 16.0
+
+    def test_sampling_keeps_large_lists_cheap(self):
+        # One million elements must not take a million estimations.
+        big = list(range(1_000_000))
+        assert estimate_size(big) == pytest.approx(8.0 + 8.0 * 1_000_000)
+
+
+class TestEstimatePartition:
+    def test_counts_records(self):
+        info = estimate_partition(["a", "b", "c"])
+        assert info.records == 3
+
+    def test_empty_partition(self):
+        info = estimate_partition([])
+        assert info.records == 0
+        assert info.bytes >= 0
+
+    def test_accepts_generators(self):
+        info = estimate_partition(x for x in range(5))
+        assert info.records == 5

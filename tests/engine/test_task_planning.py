@@ -1,0 +1,125 @@
+"""Tests for physical task-plan construction."""
+
+import pytest
+
+from repro.engine.actions import CountAction, SaveAction
+from repro.engine.stage import build_task_plan
+from tests.engine.conftest import make_context
+
+MB = 1024.0**2
+
+
+@pytest.fixture
+def ctx():
+    context = make_context()
+    context.register_synthetic_file("/in", 64 * MB, num_records=1e5)
+    return context
+
+
+def build_plans(ctx, rdd, action):
+    """Build stages and run parents, returning plans of the final stage."""
+    stages = ctx.dag.build_stages(rdd, action)
+    for stage in stages[:-1]:
+        done = ctx.scheduler.run_stage(stage)
+        ctx.sim.run()
+        assert done.triggered
+    final = stages[-1]
+    return final, [build_task_plan(ctx, final, i) for i in range(final.num_tasks)]
+
+
+class TestScanPlans:
+    def test_read_bytes_match_partition(self, ctx):
+        rdd = ctx.text_file("/in", 4).map(lambda x: x)
+        stage, plans = build_plans(ctx, rdd, CountAction())
+        for plan in plans:
+            assert plan.read_bytes == pytest.approx(16 * MB)
+            assert plan.shuffle_write_bytes == 0
+            assert plan.output_write_bytes == 0
+
+    def test_preferred_nodes_propagate(self, ctx):
+        rdd = ctx.text_file("/in", 2)
+        _stage, plans = build_plans(ctx, rdd, CountAction())
+        for plan in plans:
+            assert set(plan.preferred_nodes) == {0, 1}
+
+    def test_cpu_includes_operator_costs(self, ctx):
+        cheap_rdd = ctx.text_file("/in", 4)
+        _s, cheap = build_plans(ctx, cheap_rdd, CountAction())
+        ctx2 = make_context()
+        ctx2.register_synthetic_file("/in", 64 * MB, num_records=1e5)
+        costly_rdd = ctx2.text_file("/in", 4).map(lambda x: x, cpu_per_byte=1e-6)
+        _s, costly = build_plans(ctx2, costly_rdd, CountAction())
+        assert costly[0].cpu_seconds > cheap[0].cpu_seconds
+
+
+class TestShufflePlans:
+    def test_map_stage_plans_shuffle_write(self, ctx):
+        rdd = ctx.text_file("/in", 4).map(lambda x: (x, 1)).reduce_by_key(
+            lambda a, b: a + b, 8, map_combine_factor=0.5
+        )
+        stages = ctx.dag.build_stages(rdd, CountAction())
+        map_stage = stages[0]
+        plan = build_task_plan(ctx, map_stage, 0)
+        assert plan.shuffle_write_bytes == pytest.approx(8 * MB)
+
+    def test_reduce_stage_plans_fetches_from_all_nodes(self, ctx):
+        rdd = ctx.text_file("/in", 4).map(lambda x: (x, 1)).reduce_by_key(
+            lambda a, b: a + b, 8
+        )
+        _stage, plans = build_plans(ctx, rdd, CountAction())
+        for plan in plans:
+            sources = {node for node, _size in plan.shuffle_fetches}
+            assert sources == {0, 1}
+            assert plan.read_bytes == pytest.approx(64 * MB / 8)
+
+    def test_result_stage_plans_output_write(self, ctx):
+        rdd = ctx.text_file("/in", 4).map(lambda x: (x, 1)).reduce_by_key(
+            lambda a, b: a + b, 4
+        )
+        _stage, plans = build_plans(ctx, rdd, SaveAction("/out"))
+        for plan in plans:
+            assert plan.output_write_bytes == pytest.approx(16 * MB)
+
+    def test_shared_lineage_charged_once(self, ctx):
+        """A diamond (join of an RDD with itself) fetches the shuffle once."""
+        from repro.engine.partitioner import HashPartitioner
+
+        base = (
+            ctx.text_file("/in", 4)
+            .map(lambda x: (x, 1))
+            .partition_by(HashPartitioner(4))
+        )
+        joined = base.cogroup(base.map_values(lambda v: v))
+        _stage, plans = build_plans(ctx, joined, CountAction())
+        # One fetch of 16 MB per task, not two.
+        assert plans[0].read_bytes == pytest.approx(16 * MB)
+
+    def test_cached_source_reads_nothing(self, ctx):
+        rdd = ctx.text_file("/in", 4).map(lambda x: (x, 1)).reduce_by_key(
+            lambda a, b: a + b, 4
+        ).cache()
+        rdd.count()  # computes and caches
+        follow_up = rdd.map_values(lambda v: v)
+        stages = ctx.dag.build_stages(follow_up, CountAction())
+        assert len(stages) == 1
+        plan = build_task_plan(ctx, stages[0], 0)
+        assert plan.read_bytes == 0
+        assert plan.total_io_bytes == 0
+
+
+class TestPlanAggregates:
+    def test_total_io_sums_all_flows(self, ctx):
+        from repro.engine.stage import DfsRead, TaskPlan
+
+        plan = TaskPlan(
+            stage_id=0,
+            partition=0,
+            dfs_reads=[DfsRead(10.0, (0,))],
+            shuffle_fetches=[(0, 5.0), (1, 7.0)],
+            shuffle_write_bytes=3.0,
+            output_write_bytes=2.0,
+        )
+        assert plan.read_bytes == 22.0
+        assert plan.write_bytes == 5.0
+        assert plan.total_io_bytes == 27.0
+        assert plan.preferred_nodes == (0,)

@@ -1,0 +1,162 @@
+"""Tests for the experiment runner and reporting helpers."""
+
+import os
+
+import pytest
+
+from repro.adaptive import AdaptivePolicy, BestFitPolicy, StaticIOPolicy
+from repro.engine.policy import DefaultPolicy, FixedPolicy
+from repro.harness import (
+    build_cluster,
+    build_context,
+    derive_bestfit,
+    make_policy_factory,
+    render_series,
+    render_table,
+    run_workload,
+    static_sweep,
+    write_result,
+)
+
+
+class TestPolicyFactory:
+    def test_default(self):
+        assert isinstance(make_policy_factory("default")(None), DefaultPolicy)
+
+    def test_dynamic(self):
+        assert isinstance(make_policy_factory("dynamic")(None), AdaptivePolicy)
+
+    def test_fixed(self):
+        policy = make_policy_factory(("fixed", 4))(None)
+        assert isinstance(policy, FixedPolicy)
+        assert policy.size == 4
+
+    def test_static(self):
+        policy = make_policy_factory(("static", 8))(None)
+        assert isinstance(policy, StaticIOPolicy)
+
+    def test_bestfit(self):
+        policy = make_policy_factory(("bestfit", {0: 4}))(None)
+        assert isinstance(policy, BestFitPolicy)
+        assert policy.stage_sizes == {0: 4}
+
+    def test_dynamic_with_kwargs(self):
+        policy = make_policy_factory(("dynamic", {"cmin": 4}))(None)
+        assert isinstance(policy, AdaptivePolicy)
+
+    def test_callable_spec(self):
+        policy = make_policy_factory(lambda: FixedPolicy(2))(None)
+        assert isinstance(policy, FixedPolicy)
+
+    def test_factories_produce_fresh_instances(self):
+        factory = make_policy_factory("dynamic")
+        assert factory(None) is not factory(None)
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy_factory("turbo")
+        with pytest.raises(ValueError):
+            make_policy_factory(("fixed", 1, 2))
+
+
+class TestClusterBuilding:
+    def test_das5_defaults(self):
+        cluster = build_cluster()
+        assert cluster.num_nodes == 4
+        assert cluster.total_cores == 128
+        assert cluster.nodes[0].disk.profile.name == "hdd"
+
+    def test_ssd_device(self):
+        cluster = build_cluster(device="ssd", num_nodes=2)
+        assert cluster.nodes[0].disk.profile.name == "ssd"
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(ValueError, match="unknown device"):
+            build_cluster(device="tape")
+
+    def test_context_and_cluster_kwargs_exclusive(self):
+        cluster = build_cluster(num_nodes=2)
+        with pytest.raises(ValueError):
+            build_context(cluster=cluster, num_nodes=4)
+
+
+class TestRunWorkload:
+    def test_runs_by_name_with_scale(self):
+        run = run_workload("wordcount", policy="default", num_nodes=2,
+                           cores=4, workload_kwargs={"scale": 0.02})
+        assert run.workload == "wordcount"
+        assert run.runtime > 0
+
+    def test_conf_overrides_applied(self):
+        run = run_workload(
+            "wordcount",
+            policy="default",
+            num_nodes=2,
+            cores=4,
+            workload_kwargs={"scale": 0.02},
+            conf_overrides={"repro.output.replication": 2},
+        )
+        assert run.ctx.conf.get("repro.output.replication") == 2
+
+
+class TestSweepAndBestfit:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return static_sweep(
+            "terasort",
+            thread_counts=(4, 2),
+            num_nodes=2,
+            cores=4,
+            workload_kwargs={"scale": 0.02},
+        )
+
+    def test_sweep_runs_each_setting(self, sweep):
+        assert set(sweep) == {4, 2}
+        for run in sweep.values():
+            assert run.num_stages == 3
+
+    def test_derive_bestfit_chooses_minimum(self, sweep):
+        sizes = derive_bestfit(sweep, default_threads=4)
+        for ordinal, threads in sizes.items():
+            durations = {t: sweep[t].stages[ordinal].duration for t in sweep}
+            assert threads == min(durations, key=durations.get)
+
+    def test_non_io_stages_pinned_to_default(self):
+        sweep = static_sweep(
+            "pagerank",
+            thread_counts=(4, 2),
+            num_nodes=2,
+            cores=4,
+            workload_kwargs={"scale": 0.02, "iterations": 2},
+        )
+        sizes = derive_bestfit(sweep, default_threads=4)
+        # Iteration stages are not I/O-marked: static BestFit cannot tune
+        # them (the paper's L2), so they stay at the default.
+        for middle in range(1, len(sizes) - 1):
+            assert sizes[middle] == 4
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        table = render_table(["a", "long header"], [[1, 2.5], ["xy", 10000.0]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines[1:])) <= 2
+
+    def test_render_table_with_title(self):
+        table = render_table(["x"], [[1]], title="My Title")
+        assert table.startswith("My Title")
+
+    def test_render_series_sparkline(self):
+        series = render_series("tp", [(0, 1.0), (1, 5.0), (2, 10.0)])
+        assert "tp" in series
+        assert "max=10" in series
+
+    def test_render_series_empty_values(self):
+        assert "empty" in render_series("x", [])
+
+    def test_write_result_creates_file(self, tmp_path):
+        path = write_result("unit", "content", directory=str(tmp_path))
+        assert os.path.exists(path)
+        with open(path) as handle:
+            assert handle.read() == "content\n"

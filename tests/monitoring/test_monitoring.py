@@ -1,0 +1,145 @@
+"""Tests for the mpstat/iostat/strace analogues."""
+
+import pytest
+
+from repro.monitoring import (
+    EpollSensor,
+    MonitoringService,
+    stage_cpu_usage,
+    stage_disk_throughput,
+    stage_disk_utilization,
+    stage_io_wait,
+)
+from repro.monitoring.iostat import throughput_timeseries
+from repro.monitoring.mpstat import per_stage_cpu_profile
+from tests.engine.conftest import make_context
+
+MB = 1024.0**2
+
+
+def run_scan(cores=4, partitions=8, cpu_per_byte=None):
+    ctx = make_context(num_nodes=2, cores=cores)
+    ctx.register_synthetic_file("/in", 128 * MB, num_records=1e5)
+    annotations = {}
+    if cpu_per_byte is not None:
+        annotations["cpu_per_byte"] = cpu_per_byte
+    ctx.text_file("/in", partitions).map(lambda x: x, **annotations).count()
+    return ctx
+
+
+class TestSampling:
+    def test_samples_collected_each_second(self):
+        ctx = run_scan()
+        stage = ctx.recorder.stages[0]
+        samples = ctx.recorder.stage_samples(stage.stage_id)
+        assert samples
+        # Roughly one sample per node per second of stage time.
+        expected = max(1, int(stage.duration)) * 2
+        assert len(samples) >= expected * 0.5
+
+    def test_rates_are_bounded(self):
+        ctx = run_scan()
+        for sample in ctx.recorder.samples:
+            assert 0.0 <= sample.cpu_utilization <= 1.0
+            assert 0.0 <= sample.disk_utilization <= 1.0
+            assert sample.disk_read_rate >= 0.0
+            assert sample.disk_write_rate >= 0.0
+
+    def test_invalid_interval_rejected(self):
+        ctx = make_context()
+        with pytest.raises(ValueError):
+            MonitoringService(ctx, interval=0.0)
+
+    def test_disabled_service_collects_nothing(self):
+        ctx = make_context()
+        ctx.monitoring.enabled = False
+        ctx.register_synthetic_file("/in", 16 * MB, num_records=1e4)
+        ctx.text_file("/in", 4).count()
+        assert ctx.recorder.samples == []
+
+
+class TestMpstat:
+    def test_cpu_heavy_stage_reads_high(self):
+        io_bound = run_scan(cpu_per_byte=1e-9)
+        cpu_bound = run_scan(cpu_per_byte=5e-7)
+        io_stage = io_bound.recorder.stages[0].stage_id
+        cpu_stage = cpu_bound.recorder.stages[0].stage_id
+        assert stage_cpu_usage(cpu_bound.recorder, cpu_stage) > stage_cpu_usage(
+            io_bound.recorder, io_stage
+        )
+
+    def test_io_wait_high_when_cpu_low(self):
+        ctx = run_scan(cpu_per_byte=1e-9, partitions=16)
+        stage_id = ctx.recorder.stages[0].stage_id
+        assert stage_io_wait(ctx.recorder, stage_id) > 0.3
+        assert stage_cpu_usage(ctx.recorder, stage_id) < 0.4
+
+    def test_profile_has_one_row_per_stage(self):
+        ctx = make_context()
+        ctx.register_synthetic_file("/in", 64 * MB, num_records=1e5)
+        ctx.text_file("/in", 4).map(lambda x: (x, 1)).reduce_by_key(
+            lambda a, b: a + b, 4
+        ).count()
+        profile = per_stage_cpu_profile(ctx.recorder)
+        assert len(profile) == 2
+        assert all(0 <= row["cpu_usage"] <= 1 for row in profile)
+
+    def test_missing_samples_raise(self):
+        ctx = make_context()
+        with pytest.raises(ValueError):
+            stage_cpu_usage(ctx.recorder, 99)
+
+
+class TestIostat:
+    def test_scan_stage_busies_the_disk(self):
+        ctx = run_scan(partitions=16)
+        stage_id = ctx.recorder.stages[0].stage_id
+        assert stage_disk_utilization(ctx.recorder, stage_id) > 0.3
+
+    def test_throughput_positive_during_scan(self):
+        ctx = run_scan()
+        stage_id = ctx.recorder.stages[0].stage_id
+        assert stage_disk_throughput(ctx.recorder, stage_id) > 1 * MB
+
+    def test_timeseries_starts_at_stage_start(self):
+        ctx = run_scan()
+        stage_id = ctx.recorder.stages[0].stage_id
+        series = throughput_timeseries(ctx.recorder, stage_id, node_id=0)
+        assert series
+        assert all(t >= 0 for t, _v in series)
+
+    def test_cluster_timeseries_sums_nodes(self):
+        ctx = run_scan()
+        stage_id = ctx.recorder.stages[0].stage_id
+        per_node = throughput_timeseries(ctx.recorder, stage_id, node_id=0)
+        aggregate = throughput_timeseries(ctx.recorder, stage_id)
+        assert max(v for _t, v in aggregate) >= max(v for _t, v in per_node)
+
+
+class TestEpollSensor:
+    def test_reading_diffs_from_reset_point(self):
+        ctx = make_context()
+        ctx.register_synthetic_file("/in", 64 * MB, num_records=1e5)
+        executor = ctx.executors[0]
+        sensor = EpollSensor(executor)
+        ctx.text_file("/in", 8).count()
+        reading = sensor.read()
+        assert reading.epoll_wait_seconds > 0
+        assert reading.io_bytes > 0
+        assert reading.tasks_completed > 0
+        assert reading.elapsed > 0
+        sensor.reset()
+        fresh = sensor.read()
+        assert fresh.io_bytes == 0
+        assert fresh.tasks_completed == 0
+
+    def test_throughput_derived_from_interval(self):
+        from repro.monitoring.strace import EpollReading
+
+        reading = EpollReading(
+            epoll_wait_seconds=1.0, io_bytes=100.0,
+            tasks_completed=2, elapsed=4.0,
+        )
+        assert reading.throughput == pytest.approx(25.0)
+        zero = EpollReading(0.0, 0.0, 0, 0.0)
+        assert zero.throughput == 0.0

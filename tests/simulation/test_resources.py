@@ -1,0 +1,220 @@
+"""Tests for fair-share resources and the processor-sharing CPU."""
+
+import pytest
+
+from repro.simulation import CpuResource, FairShareResource, SimulationError, Simulator
+from repro.simulation.resources import LatencyChannel
+
+
+def finish_time(sim, job):
+    """Run the simulator and return the time the job's event fired."""
+    done = {}
+    job.event.add_callback(lambda e: done.setdefault("t", sim.now))
+    sim.run()
+    return done["t"]
+
+
+class TestFairShareResource:
+    def test_single_job_gets_full_capacity(self):
+        sim = Simulator()
+        res = FairShareResource(sim, "disk", capacity=100.0)
+        job = res.submit(500.0)
+        assert finish_time(sim, job) == pytest.approx(5.0)
+
+    def test_two_equal_jobs_share_capacity(self):
+        sim = Simulator()
+        res = FairShareResource(sim, "disk", capacity=100.0)
+        a = res.submit(500.0)
+        b = res.submit(500.0)
+        ta = finish_time(sim, a)
+        sim.run()
+        assert ta == pytest.approx(10.0)
+        assert b.event.triggered
+
+    def test_late_arrival_slows_first_job(self):
+        sim = Simulator()
+        res = FairShareResource(sim, "disk", capacity=100.0)
+        first = res.submit(1000.0)  # alone: 10s
+        sim.run(until=5.0)
+        res.submit(1000.0)
+        # first has 500 left, now at 50/s -> finishes at t=15
+        assert finish_time(sim, first) == pytest.approx(15.0)
+
+    def test_zero_work_completes_immediately(self):
+        sim = Simulator()
+        res = FairShareResource(sim, "disk", capacity=10.0)
+        job = res.submit(0.0)
+        assert job.event.triggered
+
+    def test_negative_work_rejected(self):
+        sim = Simulator()
+        res = FairShareResource(sim, "disk", capacity=10.0)
+        with pytest.raises(SimulationError):
+            res.submit(-1.0)
+
+    def test_nonfinite_work_rejected(self):
+        sim = Simulator()
+        res = FairShareResource(sim, "disk", capacity=10.0)
+        with pytest.raises(SimulationError):
+            res.submit(float("inf"))
+
+    def test_capacity_must_be_positive(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            FairShareResource(sim, "disk", capacity=0.0)
+
+    def test_stats_accumulate_work_and_busy_time(self):
+        sim = Simulator()
+        res = FairShareResource(sim, "disk", capacity=100.0)
+        res.submit(200.0, tag="read")
+        res.submit(300.0, tag="write")
+        sim.run()
+        assert res.stats.work_done == pytest.approx(500.0)
+        assert res.stats.jobs_completed == 2
+        assert res.stats.work_by_tag["read"] == pytest.approx(200.0)
+        assert res.stats.work_by_tag["write"] == pytest.approx(300.0)
+        # 200 then 300: share until the smaller one finishes at t=4
+        # (each at 50/s -> 200 done at t=4), remainder 100 at t=5.
+        assert res.stats.busy_time == pytest.approx(5.0)
+
+    def test_concurrency_integral_tracks_queue_depth(self):
+        sim = Simulator()
+        res = FairShareResource(sim, "disk", capacity=100.0)
+        res.submit(200.0)
+        res.submit(200.0)
+        sim.run()
+        # Both jobs active for the full 4 seconds -> integral 8.
+        assert res.stats.concurrency_integral == pytest.approx(8.0)
+
+    def test_many_staggered_jobs_conserve_work(self):
+        sim = Simulator()
+        res = FairShareResource(sim, "disk", capacity=37.0)
+        total = 0.0
+        for i in range(20):
+            work = 10.0 + 3.0 * i
+            total += work
+            sim.call_at(float(i) * 0.37, lambda w=work: res.submit(w))
+        sim.run()
+        assert res.stats.work_done == pytest.approx(total, rel=1e-6)
+        assert res.stats.jobs_completed == 20
+        assert res.active_jobs == 0
+
+
+class TestCpuResource:
+    def test_undersubscribed_jobs_run_at_full_speed(self):
+        sim = Simulator()
+        cpu = CpuResource(sim, "cpu", cores=4)
+        jobs = [cpu.submit(2.0) for _ in range(3)]
+        sim.run()
+        assert sim.now == pytest.approx(2.0)
+        assert all(j.event.triggered for j in jobs)
+
+    def test_oversubscribed_jobs_timeshare(self):
+        sim = Simulator()
+        cpu = CpuResource(sim, "cpu", cores=2)
+        for _ in range(4):
+            cpu.submit(1.0)
+        sim.run()
+        # 4 threads on 2 cores run at 0.5x -> 2 seconds.
+        assert sim.now == pytest.approx(2.0)
+
+    def test_speed_factor_scales_rate(self):
+        sim = Simulator()
+        cpu = CpuResource(sim, "cpu", cores=1, speed_factor=2.0)
+        cpu.submit(4.0)
+        sim.run()
+        assert sim.now == pytest.approx(2.0)
+
+    def test_cores_must_be_positive(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            CpuResource(sim, "cpu", cores=0)
+
+    def test_occupancy_counts_occupied_cores(self):
+        sim = Simulator()
+        cpu = CpuResource(sim, "cpu", cores=4)
+        cpu.submit(2.0)
+        cpu.submit(2.0)
+        sim.run()
+        # 2 jobs on 4 cores for 2s -> 4 core-seconds occupied.
+        assert cpu.stats.occupancy_integral == pytest.approx(4.0)
+        assert cpu.utilization(0.0, elapsed=2.0) == pytest.approx(0.5)
+
+    def test_occupancy_saturates_at_core_count(self):
+        sim = Simulator()
+        cpu = CpuResource(sim, "cpu", cores=2)
+        for _ in range(8):
+            cpu.submit(1.0)
+        sim.run()
+        assert sim.now == pytest.approx(4.0)
+        assert cpu.utilization(0.0, elapsed=4.0) == pytest.approx(1.0)
+
+
+class TestLatencyChannel:
+    def test_message_delivered_after_latency(self):
+        sim = Simulator()
+        channel = LatencyChannel(sim, latency=0.5)
+        inbox = []
+        channel.send(lambda m: inbox.append((sim.now, m)), "hello")
+        assert inbox == []
+        sim.run()
+        assert inbox == [(0.5, "hello")]
+
+    def test_messages_counted(self):
+        sim = Simulator()
+        channel = LatencyChannel(sim, latency=0.0)
+        channel.send(lambda m: None, 1)
+        channel.send(lambda m: None, 2)
+        assert channel.messages_sent == 2
+
+    def test_negative_latency_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            LatencyChannel(sim, latency=-0.1)
+
+
+class TestRandomStreams:
+    def test_streams_are_reproducible(self):
+        from repro.simulation import RandomStreams
+
+        a = RandomStreams(7).stream("disk")
+        b = RandomStreams(7).stream("disk")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_streams_are_independent_of_creation_order(self):
+        from repro.simulation import RandomStreams
+
+        one = RandomStreams(7)
+        one.stream("net")
+        value_one = one.stream("disk").random()
+        two = RandomStreams(7)
+        value_two = two.stream("disk").random()
+        assert value_one == value_two
+
+    def test_lognormal_factor_median_near_one(self):
+        from repro.simulation import RandomStreams
+
+        streams = RandomStreams(3)
+        draws = sorted(
+            streams.lognormal_factor("node", sigma=0.2) for _ in range(400)
+        )
+        median = draws[len(draws) // 2]
+        assert 0.9 < median < 1.1
+
+    def test_sigma_zero_is_exactly_one(self):
+        from repro.simulation import RandomStreams
+
+        assert RandomStreams(1).lognormal_factor("x", 0.0) == 1.0
+
+    def test_negative_sigma_rejected(self):
+        from repro.simulation import RandomStreams
+
+        with pytest.raises(ValueError):
+            RandomStreams(1).lognormal_factor("x", -0.5)
+
+    def test_fork_produces_distinct_streams(self):
+        from repro.simulation import RandomStreams
+
+        parent = RandomStreams(7)
+        child = parent.fork("rep-1")
+        assert child.stream("disk").random() != parent.stream("disk").random()

@@ -1,0 +1,51 @@
+"""Property-based tests on DFS invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage import DistributedFileSystem
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    nodes=st.integers(min_value=1, max_value=16),
+    size=st.floats(min_value=0.0, max_value=1e12),
+    block_size=st.floats(min_value=1e6, max_value=256e6),
+)
+def test_blocks_cover_exact_file_size(nodes, size, block_size):
+    dfs = DistributedFileSystem(list(range(nodes)), block_size=block_size)
+    dfs_file = dfs.create("/f", size)
+    assert sum(b.size for b in dfs_file.blocks) == pytest.approx(size)
+    for block in dfs_file.blocks:
+        assert block.size <= block_size * (1 + 1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    nodes=st.integers(min_value=2, max_value=16),
+    replication=st.integers(min_value=1, max_value=16),
+    size=st.floats(min_value=1.0, max_value=1e11),
+)
+def test_replicas_distinct_and_counted(nodes, replication, size):
+    if replication > nodes:
+        replication = nodes
+    dfs = DistributedFileSystem(list(range(nodes)), replication=replication)
+    dfs_file = dfs.create("/f", size)
+    for block in dfs_file.blocks:
+        assert len(block.replicas) == replication
+        assert len(set(block.replicas)) == replication
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    size=st.floats(min_value=1.0, max_value=1e11),
+    partitions=st.integers(min_value=1, max_value=64),
+)
+def test_partition_split_conserves_bytes(size, partitions):
+    dfs = DistributedFileSystem([0, 1, 2, 3])
+    dfs.create("/f", size)
+    splits = dfs.split_for_partitions("/f", partitions)
+    assert len(splits) == partitions
+    assert sum(s["bytes"] for s in splits) == pytest.approx(size, rel=1e-9)
+    for split in splits:
+        assert split["preferred_nodes"]

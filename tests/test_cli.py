@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "terasort"])
+        assert args.policy == "default"
+        assert args.nodes == 4
+        assert args.device == "hdd"
+        assert args.scale == 1.0
+
+    def test_run_with_options(self):
+        args = build_parser().parse_args(
+            ["run", "pagerank", "--policy", "dynamic", "--scale", "0.1",
+             "--nodes", "2", "--device", "ssd"]
+        )
+        assert args.policy == "dynamic"
+        assert args.scale == 0.1
+        assert args.nodes == 2
+        assert args.device == "ssd"
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "hive"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list_prints_all_workloads(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("terasort", "pagerank", "aggregation", "join", "svm"):
+            assert name in out
+
+    def test_run_small_workload(self, capsys):
+        code = main(["run", "wordcount", "--scale", "0.02", "--nodes", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "simulated seconds" in out
+        assert "stage" in out
+
+    def test_run_with_fixed_policy(self, capsys):
+        code = main(
+            ["run", "wordcount", "--scale", "0.02", "--nodes", "2",
+             "--policy", "fixed", "--threads", "2"]
+        )
+        assert code == 0
+        assert "2" in capsys.readouterr().out
+
+    def test_sweep_outputs_bestfit(self, capsys):
+        code = main(["sweep", "wordcount", "--scale", "0.02", "--nodes", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BestFit" in out
+        assert "threads" in out
+
+    def test_compare_outputs_three_systems(self, capsys):
+        code = main(["compare", "wordcount", "--scale", "0.02", "--nodes", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "default" in out
+        assert "static bestfit" in out
+        assert "self-adaptive" in out

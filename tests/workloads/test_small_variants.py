@@ -1,0 +1,68 @@
+"""Additional small-variant and cross-device workload tests."""
+
+import pytest
+
+from repro.workloads import Scan, Terasort, WordCount
+from repro.cluster import Cluster, ClusterSpec, NodeSpec
+from repro.engine import SparkContext
+from repro.storage import SSD_PROFILE
+from tests.engine.conftest import make_context
+
+
+class TestScanSmall:
+    def test_scan_copies_input(self):
+        ctx = make_context()
+        workload = Scan(num_partitions=4)
+        workload.prepare_small(ctx)
+        workload.execute(ctx)
+        output = ctx.datasets.describe(workload.output_path)
+        assert output.records_available
+        assert len(output.data) == 100
+
+    def test_scan_sets_replication(self):
+        ctx = make_context()
+        workload = Scan(scale=0.02)
+        workload.prepare(ctx)
+        assert ctx.conf.get("repro.output.replication") == 3
+
+
+class TestCrossDevice:
+    def make_ssd_context(self):
+        spec = ClusterSpec(
+            num_nodes=2,
+            node=NodeSpec(cores=4, disk_profile=SSD_PROFILE),
+            disk_sigma=0.0,
+            cpu_sigma=0.0,
+        )
+        return SparkContext(Cluster(spec))
+
+    def test_terasort_faster_on_ssd(self):
+        hdd_ctx = make_context(num_nodes=2, cores=4)
+        ssd_ctx = self.make_ssd_context()
+        hdd = Terasort(scale=0.05, num_partitions=32).run(hdd_ctx)
+        ssd = Terasort(scale=0.05, num_partitions=32).run(ssd_ctx)
+        assert ssd.runtime < hdd.runtime
+
+    def test_results_identical_across_devices(self):
+        """Device models change timing, never semantics."""
+        hdd_ctx = make_context(num_nodes=2, cores=4)
+        ssd_ctx = self.make_ssd_context()
+        counts = []
+        for ctx in (hdd_ctx, ssd_ctx):
+            workload = WordCount(num_partitions=4)
+            counts.append(workload.collect_small_counts(ctx))
+        assert counts[0] == counts[1]
+
+
+class TestWorkloadRunAccessors:
+    def test_run_object_accessors(self):
+        ctx = make_context(num_nodes=2, cores=4)
+        run = WordCount(scale=0.02).run(ctx)
+        assert run.num_stages == len(run.stage_durations())
+        assert run.runtime == pytest.approx(ctx.total_runtime)
+        assert run.cluster_io_bytes > 0
+
+    def test_run_small_returns_result(self):
+        ctx = make_context(num_nodes=2, cores=4)
+        run = WordCount(num_partitions=2).run_small(ctx)
+        assert run.result == "/hibench/wordcount/output"
