@@ -22,6 +22,7 @@ the paper's sections 5.1-5.4:
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -254,11 +255,63 @@ class AdaptiveControlLoop:
         reading = self.monitor.task_completed()
         if reading is None:
             return None
+        ctx = self.executor.ctx
+        tracer = ctx.tracer
         interval_start = self.monitor._interval_start
+        interval_threads = self.knowledge.current_threads
+        if tracer.enabled:
+            tracer.instant(
+                "mapek", "monitor",
+                executor_id=self.executor.executor_id,
+                stage_id=self.stage.stage_id,
+                threads=interval_threads,
+                epoll_wait=reading.epoll_wait_seconds,
+                io_bytes=reading.io_bytes,
+                tasks=reading.tasks_completed,
+            )
         decision = self.analyzer.analyze(reading)
+        zeta = self.knowledge.history[-1].congestion
+        if tracer.enabled:
+            # ζ = inf (zero-throughput interval) would be invalid JSON;
+            # event logs carry the string "inf" instead.
+            zeta_json = zeta if math.isfinite(zeta) else "inf"
+            tracer.instant(
+                "mapek", "analyze",
+                executor_id=self.executor.executor_id,
+                stage_id=self.stage.stage_id,
+                zeta=zeta_json,
+                decision=decision.reason,
+                threads=decision.threads,
+                settled=decision.settled,
+            )
+            tracer.complete(
+                "mapek", "interval", interval_start, ctx.sim.now,
+                executor_id=self.executor.executor_id,
+                stage_id=self.stage.stage_id,
+                threads=interval_threads,
+                zeta=zeta_json,
+                decision=decision.reason,
+            )
+        ctx.metrics.counter("mapek.intervals").inc()
+        ctx.metrics.histogram("mapek.zeta").observe(zeta)
         self._record_interval(reading, decision, interval_start)
         plan = self.planner.plan(decision)
+        if tracer.enabled:
+            tracer.instant(
+                "mapek", "plan",
+                executor_id=self.executor.executor_id,
+                stage_id=self.stage.stage_id,
+                resize_to=plan.resize_to,
+                notify_scheduler=plan.notify_scheduler,
+            )
         new_size = self.effector.execute(plan)
+        if tracer.enabled and new_size is not None:
+            tracer.instant(
+                "mapek", "execute",
+                executor_id=self.executor.executor_id,
+                stage_id=self.stage.stage_id,
+                pool_size=new_size,
+            )
         self.monitor.begin_interval()
         return new_size
 

@@ -3,19 +3,39 @@
 Examples::
 
     python -m repro run terasort --policy dynamic --scale 0.25
+    python -m repro run terasort --policy dynamic --events out.jsonl
     python -m repro compare pagerank --scale 0.5
-    python -m repro sweep terasort --device ssd
+    python -m repro sweep terasort --device ssd --trace sweep.json
+    python -m repro history out.jsonl
     python -m repro list
+
+Every run subcommand accepts ``--events PATH`` (Spark-style JSONL event log,
+replayable with ``repro history``) and ``--trace PATH`` (Chrome ``trace_event``
+JSON, loadable in Perfetto / ``chrome://tracing``).  Subcommands that launch
+several runs (``sweep``, ``compare``) write one file per run with a suffix
+before the extension (``sweep.t8.json``, ``out.dynamic.jsonl``).  ``--json``
+switches the report from tables to a machine-readable JSON document.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional
 
 from repro.harness.report import render_table
-from repro.harness.runner import derive_bestfit, run_workload, static_sweep
+from repro.harness.runner import (
+    derive_bestfit,
+    finish_trace,
+    run_workload,
+    static_sweep,
+)
+from repro.observability.chrome import ChromeTraceSink
+from repro.observability.history import load_events, reconstruct
+from repro.observability.sinks import JsonLinesSink
+from repro.observability.tracer import Tracer
 from repro.workloads.catalog import WORKLOADS, workload_names
 
 POLICY_CHOICES = ("default", "dynamic", "static", "fixed")
@@ -47,6 +67,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _common_args(sweep)
 
+    history = sub.add_parser(
+        "history", help="reconstruct a finished run from its event log"
+    )
+    history.add_argument("eventlog", help="JSONL event log from --events")
+    history.add_argument("--json", action="store_true",
+                         help="emit the report as JSON instead of tables")
+
     sub.add_parser("list", help="list available workloads")
     return parser
 
@@ -56,8 +83,23 @@ def _common_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=1.0,
                         help="input-size multiplier (ratios are invariant)")
     parser.add_argument("--nodes", type=int, default=4)
+    parser.add_argument("--cores", type=_positive_int, default=32,
+                        help="virtual cores per node (the default pool size)")
     parser.add_argument("--device", choices=("hdd", "ssd"), default="hdd")
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--events", metavar="PATH", default=None,
+                        help="write a JSONL event log (see 'repro history')")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a Chrome trace_event JSON for Perfetto")
+    parser.add_argument("--json", action="store_true",
+                        help="emit results as JSON instead of tables")
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _policy_spec(args):
@@ -71,10 +113,43 @@ def _policy_spec(args):
 def _run_kwargs(args):
     return dict(
         num_nodes=args.nodes,
+        cores=args.cores,
         device=args.device,
         seed=args.seed,
         workload_kwargs={"scale": args.scale},
     )
+
+
+def _thread_counts(cores: int) -> tuple:
+    """The sweep's ladder: cores, cores/2, ... down to 2 (paper Fig. 2)."""
+    if cores < 1:
+        raise ValueError(f"cores must be positive, got {cores}")
+    counts = []
+    threads = cores
+    while threads >= 2:
+        counts.append(threads)
+        threads //= 2
+    return tuple(counts) if counts else (cores,)
+
+
+def _suffix_path(path: str, suffix: str) -> str:
+    """Insert ``suffix`` before the extension: out.jsonl -> out.t8.jsonl."""
+    root, ext = os.path.splitext(path)
+    return f"{root}.{suffix}{ext}" if ext else f"{path}.{suffix}"
+
+
+def _build_tracer(args, suffix: Optional[str] = None) -> Optional[Tracer]:
+    """A tracer for one run, or None when no output was requested."""
+    sinks = []
+    if args.events:
+        path = args.events if suffix is None else _suffix_path(args.events, suffix)
+        sinks.append(JsonLinesSink(path))
+    if args.trace:
+        path = args.trace if suffix is None else _suffix_path(args.trace, suffix)
+        sinks.append(ChromeTraceSink(path))
+    if not sinks:
+        return None
+    return Tracer(sinks=sinks)
 
 
 def cmd_list(_args) -> int:
@@ -97,8 +172,20 @@ def cmd_list(_args) -> int:
 
 
 def cmd_run(args) -> int:
+    tracer = _build_tracer(args)
     run = run_workload(args.workload, policy=_policy_spec(args),
-                       **_run_kwargs(args))
+                       tracer=tracer, **_run_kwargs(args))
+    if tracer is not None:
+        finish_trace(run)
+    if args.json:
+        payload = {
+            "command": "run",
+            "workload": args.workload,
+            "policy": args.policy,
+            **run.ctx.recorder.summary_dict(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(f"{args.workload} [{args.policy}] finished in "
           f"{run.runtime:.1f} simulated seconds\n")
     rows = []
@@ -120,7 +207,31 @@ def cmd_run(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    sweep = static_sweep(args.workload, **_run_kwargs(args))
+    thread_counts = _thread_counts(args.cores)
+    tracer_factory = None
+    if args.events or args.trace:
+        tracer_factory = lambda threads: _build_tracer(args, f"t{threads}")
+    sweep = static_sweep(args.workload, thread_counts=thread_counts,
+                         tracer_factory=tracer_factory, **_run_kwargs(args))
+    sizes = derive_bestfit(sweep, default_threads=max(sweep))
+    if args.json:
+        payload = {
+            "command": "sweep",
+            "workload": args.workload,
+            "device": args.device,
+            "thread_counts": list(thread_counts),
+            "runs": {
+                str(threads): {
+                    "runtime": run.runtime,
+                    "stage_durations": run.stage_durations(),
+                }
+                for threads, run in sorted(sweep.items())
+            },
+            "bestfit": {str(ordinal): threads
+                        for ordinal, threads in sorted(sizes.items())},
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     num_stages = next(iter(sweep.values())).num_stages
     rows = [
         (threads, f"{run.runtime:.1f}",
@@ -132,22 +243,59 @@ def cmd_sweep(args) -> int:
         rows,
         title=f"Static solution sweep: {args.workload} on {args.device}",
     ))
-    sizes = derive_bestfit(sweep)
     print(f"\nper-stage BestFit: {sizes}")
     return 0
 
 
 def cmd_compare(args) -> int:
     kwargs = _run_kwargs(args)
-    sweep = static_sweep(args.workload, **kwargs)
-    bestfit_sizes = derive_bestfit(sweep)
-    default = sweep[32]
+    thread_counts = _thread_counts(args.cores)
+    tracer_factory = None
+    if args.events or args.trace:
+        tracer_factory = lambda threads: _build_tracer(args, f"t{threads}")
+    sweep = static_sweep(args.workload, thread_counts=thread_counts,
+                         tracer_factory=tracer_factory, **kwargs)
+    default_threads = max(sweep)
+    bestfit_sizes = derive_bestfit(sweep, default_threads=default_threads)
+    # The static solution at all cores is stock Spark, so the sweep's top
+    # run doubles as the "Default Spark" baseline (no hardcoded 32).
+    default = sweep[default_threads]
+
+    tracer = _build_tracer(args, "bestfit")
     bestfit = run_workload(args.workload, policy=("bestfit", bestfit_sizes),
-                           **kwargs)
-    dynamic = run_workload(args.workload, policy="dynamic", **kwargs)
+                           tracer=tracer, **kwargs)
+    if tracer is not None:
+        finish_trace(bestfit)
+    tracer = _build_tracer(args, "dynamic")
+    dynamic = run_workload(args.workload, policy="dynamic",
+                           tracer=tracer, **kwargs)
+    if tracer is not None:
+        finish_trace(dynamic)
+
+    systems = (("default", default), ("static bestfit", bestfit),
+               ("self-adaptive", dynamic))
+    if args.json:
+        payload = {
+            "command": "compare",
+            "workload": args.workload,
+            "device": args.device,
+            "nodes": args.nodes,
+            "cores": args.cores,
+            "scale": args.scale,
+            "systems": {
+                label.replace(" ", "_").replace("-", "_"): {
+                    "runtime": run.runtime,
+                    "reduction_vs_default":
+                        None if run is default
+                        else 1 - run.runtime / default.runtime,
+                }
+                for label, run in systems
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     rows = []
-    for label, run in (("default", default), ("static bestfit", bestfit),
-                       ("self-adaptive", dynamic)):
+    for label, run in systems:
         reduction = (
             "--" if run is default
             else f"-{(1 - run.runtime / default.runtime) * 100:.1f}%"
@@ -162,17 +310,94 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_history(args) -> int:
+    try:
+        events = load_events(args.eventlog)
+    except OSError as exc:
+        print(f"cannot read event log: {exc}", file=sys.stderr)
+        return 1
+    report = reconstruct(events)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0
+    app = report.application
+    if app:
+        print(f"application: {app.get('num_nodes', '?')} nodes x "
+              f"{app.get('cores_per_node', '?')} cores on "
+              f"{app.get('device', '?')}")
+    print(f"total runtime: {report.total_runtime:.1f} simulated seconds "
+          f"({len(events)} events)\n")
+    rows = []
+    for stage in report.stages:
+        sizes = stage.final_pool_sizes
+        rows.append(
+            (
+                stage.stage_id,
+                stage.name,
+                "I/O" if stage.is_io_marked else "shuffle",
+                f"{stage.tasks_seen}/{stage.num_tasks}",
+                f"{stage.duration:.1f}",
+                " ".join(str(sizes[e]) for e in sorted(sizes)) or "--",
+            )
+        )
+    print(render_table(
+        ["stage", "name", "kind", "tasks", "duration (s)",
+         "final threads/executor"],
+        rows,
+    ))
+    if report.pool_decisions:
+        print(f"\npool-size decisions ({len(report.pool_decisions)}):")
+        rows = [
+            (f"{d.time:.1f}", d.executor_id, d.stage_id, d.pool_size, d.reason)
+            for d in report.pool_decisions
+        ]
+        print(render_table(
+            ["time (s)", "executor", "stage", "size", "reason"], rows
+        ))
+    if report.intervals:
+        print(f"\nMAPE-K intervals ({len(report.intervals)}):")
+        rows = [
+            (f"{i.start_time:.1f}", f"{i.end_time:.1f}", i.executor_id,
+             i.stage_id, i.threads,
+             "inf" if i.zeta == float("inf") else f"{i.zeta:.3g}", i.decision)
+            for i in report.intervals
+        ]
+        print(render_table(
+            ["start", "end", "executor", "stage", "threads", "zeta",
+             "decision"],
+            rows,
+        ))
+    if report.metrics:
+        print(f"\nmetrics snapshot: {len(report.metrics)} series "
+              f"(use --json for values)")
+    return 0
+
+
 COMMANDS = {
     "list": cmd_list,
     "run": cmd_run,
     "sweep": cmd_sweep,
     "compare": cmd_compare,
+    "history": cmd_history,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args)
+    try:
+        return COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Reader went away (e.g. | head); exit quietly like other CLIs.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    except OSError as exc:
+        # Unwritable --events/--trace path, unreadable log, and friends.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        # Malformed event log or bad parameter combination.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

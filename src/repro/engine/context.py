@@ -23,6 +23,8 @@ from repro.engine.scheduler import TaskScheduler
 from repro.engine.shuffle import MapOutputTracker
 from repro.engine.sizing import SizeInfo, estimate_size
 from repro.engine.stage import Stage
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracer import NULL_TRACER, Tracer
 from repro.storage.dfs import DistributedFileSystem
 
 PolicyFactory = Callable[[Executor], ExecutorPolicy]
@@ -42,6 +44,8 @@ class SparkContext:
         conf: Optional[SparkConf] = None,
         policy_factory: Optional[PolicyFactory] = None,
         monitoring_interval: float = 1.0,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.cluster = cluster if cluster is not None else Cluster(ClusterSpec())
         self.sim = self.cluster.sim
@@ -52,6 +56,10 @@ class SparkContext:
         self.map_output_tracker = MapOutputTracker()
         self.cache_manager = CacheManager()
         self.recorder = RunRecorder()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.tracer.enabled:
+            self._wire_tracer()
         # Imported here to avoid a package-level cycle: repro.monitoring
         # reads engine metrics types, and this module wires monitoring in.
         from repro.monitoring import MonitoringService
@@ -68,6 +76,24 @@ class SparkContext:
             self.set_policy_factory(policy_factory)
 
     # -- wiring ------------------------------------------------------------------
+
+    def _wire_tracer(self) -> None:
+        """Attach the tracer to every instrumented subsystem."""
+        tracer = self.tracer
+        tracer.bind_clock(lambda: self.sim.now)
+        self.sim.tracer = tracer
+        self.map_output_tracker.tracer = tracer
+        self.cluster.fabric.tracer = tracer
+        for node in self.cluster.nodes:
+            node.disk.tracer = tracer
+        tracer.instant(
+            "app", "application-start",
+            num_nodes=self.cluster.num_nodes,
+            cores_per_node=self.cluster.nodes[0].cores
+            if self.cluster.nodes else 0,
+            device=self.cluster.nodes[0].disk.profile.name
+            if self.cluster.nodes else "",
+        )
 
     def set_policy_factory(self, factory: PolicyFactory) -> None:
         for executor in self.executors:

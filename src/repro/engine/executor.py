@@ -106,6 +106,18 @@ class Executor:
                     reason=reason,
                 )
             )
+            tracer = self.ctx.tracer
+            if tracer.enabled:
+                tracer.instant(
+                    "pool", "resize",
+                    executor_id=self.executor_id,
+                    stage_id=self._record.stage_id,
+                    size=size,
+                    reason=reason,
+                )
+        self.ctx.metrics.gauge(
+            f"executor.{self.executor_id}.pool_size"
+        ).set(size)
 
     # -- task execution ------------------------------------------------------------
 
@@ -119,9 +131,19 @@ class Executor:
 
     def _run_task(self, task: Task):
         sim = self.ctx.sim
+        tracer = self.ctx.tracer
         plan = task.plan
         launch_time = sim.now
         io_wait = 0.0
+        task_span = -1
+        if tracer.enabled:
+            task_span = tracer.begin(
+                "task", f"task {task.stage.stage_id}.{task.partition}",
+                executor_id=self.executor_id,
+                stage_id=task.stage.stage_id,
+                partition=task.partition,
+                pool_size=self.pool_size,
+            )
         ops = self._build_ops(plan)
         chunks = self._chunk_ops(ops, plan.cpu_seconds,
                                  interleave_offset=task.partition)
@@ -129,12 +151,21 @@ class Executor:
             if kind == "cpu":
                 yield self.node.cpu.submit(amount, tag="task").event
             else:
+                chunk_span = -1
+                if tracer.enabled:
+                    chunk_span = tracer.begin(
+                        "io", kind, parent=task_span,
+                        executor_id=self.executor_id,
+                        bytes=amount, src_node=src_node,
+                    )
                 start = sim.now
                 yield self._io_event(kind, amount, src_node)
                 wait = sim.now - start
                 io_wait += wait
                 self.io_wait_accum += wait
                 self.io_bytes_accum += amount
+                if chunk_span >= 0:
+                    tracer.end(chunk_span, wait=wait)
         metrics = TaskMetrics(
             stage_id=task.stage.stage_id,
             partition=task.partition,
@@ -157,6 +188,13 @@ class Executor:
         self.stage_tasks_completed += 1
         if self._record is not None:
             self._record.tasks.append(metrics)
+        if task_span >= 0:
+            tracer.end(task_span, io_wait=io_wait,
+                       io_bytes=metrics.total_io_bytes)
+        registry = self.ctx.metrics
+        registry.counter("tasks.completed").inc()
+        registry.counter("io.task_bytes").inc(metrics.total_io_bytes)
+        registry.counter("io.wait_seconds").inc(io_wait)
         decision = self.policy.on_task_complete(self, task.stage, metrics)
         if decision is not None and decision != self.pool_size:
             self._apply_pool_size(decision, reason="adapt")

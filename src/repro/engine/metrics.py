@@ -8,8 +8,8 @@ adaptive-interval sensor readings (Fig. 7), and sampled resource utilisation
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
 
 
 @dataclass
@@ -117,20 +117,34 @@ class ResourceSample:
 
 @dataclass
 class StageRecord:
-    """Everything recorded about one executed stage."""
+    """Everything recorded about one executed stage.
+
+    ``end_time`` is ``None`` while the stage is open: a sentinel value
+    (previously ``0.0``) would misidentify a stage that legitimately
+    finishes at t=0 as still running.
+    """
 
     stage_id: int
     name: str
     is_io_marked: bool
     num_tasks: int
     start_time: float
-    end_time: float = 0.0
+    end_time: Optional[float] = None
     tasks: List[TaskMetrics] = field(default_factory=list)
     pool_events: List[PoolEvent] = field(default_factory=list)
     intervals: List[IntervalRecord] = field(default_factory=list)
 
     @property
+    def closed(self) -> bool:
+        return self.end_time is not None
+
+    def close(self, end_time: float) -> None:
+        self.end_time = end_time
+
+    @property
     def duration(self) -> float:
+        if self.end_time is None:
+            return 0.0
         return self.end_time - self.start_time
 
     def final_pool_sizes(self) -> Dict[int, int]:
@@ -156,7 +170,7 @@ class RunRecorder:
 
     @property
     def current_stage(self) -> Optional[StageRecord]:
-        if self.stages and self.stages[-1].end_time == 0.0:
+        if self.stages and not self.stages[-1].closed:
             return self.stages[-1]
         return None
 
@@ -169,9 +183,63 @@ class RunRecorder:
     @property
     def total_runtime(self) -> float:
         """Wall-clock from the first stage start to the last stage end."""
-        if not self.stages:
+        ends = [s.end_time for s in self.stages if s.end_time is not None]
+        if not ends:
             return 0.0
-        return max(s.end_time for s in self.stages) - self.stages[0].start_time
+        return max(ends) - self.stages[0].start_time
 
     def stage_samples(self, stage_id: int) -> List[ResourceSample]:
         return [s for s in self.samples if s.stage_id == stage_id]
+
+    # -- serialisation (the --json CLI mode and scripting surface) ----------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "stages": [asdict(stage) for stage in self.stages],
+            "samples": [asdict(sample) for sample in self.samples],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "RunRecorder":
+        recorder = cls()
+        for stage_doc in doc.get("stages", ()):
+            stage_doc = dict(stage_doc)
+            tasks = [TaskMetrics(**t) for t in stage_doc.pop("tasks", ())]
+            pool_events = [
+                PoolEvent(**e) for e in stage_doc.pop("pool_events", ())
+            ]
+            intervals = [
+                IntervalRecord(**i) for i in stage_doc.pop("intervals", ())
+            ]
+            recorder.stages.append(
+                StageRecord(**stage_doc, tasks=tasks,
+                            pool_events=pool_events, intervals=intervals)
+            )
+        recorder.samples = [
+            ResourceSample(**s) for s in doc.get("samples", ())
+        ]
+        return recorder
+
+    def summary_dict(self) -> Dict[str, Any]:
+        """The compact run record: runtime, stage durations, pool sizes."""
+        return {
+            "runtime": self.total_runtime,
+            "stages": [
+                {
+                    "stage_id": stage.stage_id,
+                    "name": stage.name,
+                    "is_io_marked": stage.is_io_marked,
+                    "num_tasks": stage.num_tasks,
+                    "start_time": stage.start_time,
+                    "end_time": stage.end_time,
+                    "duration": stage.duration,
+                    "final_pool_sizes": {
+                        str(executor): size
+                        for executor, size in sorted(
+                            stage.final_pool_sizes().items()
+                        )
+                    },
+                }
+                for stage in self.stages
+            ],
+        }

@@ -61,6 +61,7 @@ class _StageRun:
         self.done = done
         self.completed = 0
         self.results: Dict[int, Any] = {}
+        self.trace_span = -1
 
 
 class TaskScheduler:
@@ -104,6 +105,15 @@ class TaskScheduler:
         ]
         run = _StageRun(stage, tasks, record, sim.event())
         self._run = run
+        tracer = self.ctx.tracer
+        if tracer.enabled:
+            run.trace_span = tracer.begin(
+                "stage", stage.rdd.name,
+                stage_id=stage.stage_id,
+                num_tasks=stage.num_tasks,
+                io_marked=stage.is_io_marked,
+            )
+        self.ctx.metrics.counter("scheduler.stages_submitted").inc()
         # Stage-start RPC: each executor consults its policy and reports the
         # initial pool size back to the driver's registry.
         for executor in self.ctx.executors:
@@ -132,6 +142,7 @@ class TaskScheduler:
                     break
                 self._assigned[executor_id] += 1
                 self.channel.send(executor.launch_task, task)
+                self.ctx.metrics.counter("scheduler.tasks_launched").inc()
                 progress = True
 
     # -- executor messages ------------------------------------------------------------
@@ -139,6 +150,14 @@ class TaskScheduler:
     def handle_message(self, message) -> None:
         if isinstance(message, PoolResized):
             self._pool_view[message.executor_id] = message.pool_size
+            tracer = self.ctx.tracer
+            if tracer.enabled:
+                tracer.instant(
+                    "scheduler", "pool-resized",
+                    executor_id=message.executor_id,
+                    pool_size=message.pool_size,
+                )
+            self.ctx.metrics.counter("scheduler.resize_messages").inc()
             self._assign()
         elif isinstance(message, TaskFinished):
             self._on_task_finished(message)
@@ -163,7 +182,11 @@ class TaskScheduler:
             self._assign()
 
     def _finish_stage(self, run: _StageRun) -> None:
-        run.record.end_time = self.ctx.sim.now
+        run.record.close(self.ctx.sim.now)
+        if run.trace_span >= 0:
+            self.ctx.tracer.end(run.trace_span,
+                                duration=run.record.duration)
+        self.ctx.metrics.counter("scheduler.stages_completed").inc()
         self.ctx.monitoring.end_stage(run.stage, run.record)
         # Record sizes for RDDs this stage materialised into the cache so
         # later stages plan memory reads instead of recomputation.

@@ -142,6 +142,8 @@ class MapOutputTracker:
     def __init__(self) -> None:
         self._shuffles: Dict[int, _ShuffleState] = {}
         self._next_shuffle_id = 0
+        #: Optional span tracer, wired by the owning context.
+        self.tracer = None
 
     def register_shuffle(self, num_maps: int, num_reducers: int) -> int:
         """Allocate a shuffle id for a new shuffle dependency."""
@@ -176,6 +178,17 @@ class MapOutputTracker:
             )
         state.statuses[status.map_id] = status
         state.accumulate(status)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.instant(
+                "shuffle", "map-output",
+                shuffle_id=shuffle_id,
+                map_id=status.map_id,
+                node_id=status.node_id,
+                bytes=status.total_bytes,
+                registered=len(state.statuses),
+                expected=state.num_maps,
+            )
 
     def is_complete(self, shuffle_id: int) -> bool:
         return self._state(shuffle_id).complete

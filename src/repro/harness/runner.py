@@ -18,6 +18,8 @@ from repro.cluster import Cluster, ClusterSpec, NodeSpec
 from repro.engine.conf import SparkConf
 from repro.engine.context import SparkContext
 from repro.engine.policy import DefaultPolicy, ExecutorPolicy, FixedPolicy
+from repro.observability.metrics import collect_run_metrics
+from repro.observability.tracer import Tracer
 from repro.storage.device import HDD_PROFILE, SSD_PROFILE, DeviceProfile
 from repro.workloads import Workload, WorkloadRun, get_workload
 
@@ -81,6 +83,7 @@ def build_context(
     policy: PolicySpec = "default",
     cluster: Optional[Cluster] = None,
     conf_overrides: Optional[Dict[str, Any]] = None,
+    tracer: Optional[Tracer] = None,
     **cluster_kwargs: Any,
 ) -> SparkContext:
     if cluster is None:
@@ -92,6 +95,7 @@ def build_context(
         cluster=cluster,
         conf=conf,
         policy_factory=make_policy_factory(policy),
+        tracer=tracer,
     )
 
 
@@ -100,16 +104,31 @@ def run_workload(
     policy: PolicySpec = "default",
     conf_overrides: Optional[Dict[str, Any]] = None,
     workload_kwargs: Optional[Dict[str, Any]] = None,
+    tracer: Optional[Tracer] = None,
     **cluster_kwargs: Any,
 ) -> WorkloadRun:
-    """One fresh context, one workload run."""
+    """One fresh context, one workload run.
+
+    A ``tracer`` (if given) is wired through the whole stack; the caller
+    keeps ownership and decides when to :meth:`~Tracer.close` it.
+    """
     if isinstance(workload, str):
         workload = get_workload(workload, **(workload_kwargs or {}))
     elif workload_kwargs:
         raise ValueError("workload_kwargs only apply when passing a name")
     ctx = build_context(policy=policy, conf_overrides=conf_overrides,
-                        **cluster_kwargs)
+                        tracer=tracer, **cluster_kwargs)
     return workload.run(ctx)
+
+
+def finish_trace(run: WorkloadRun) -> None:
+    """Append the metrics snapshot to a traced run's log and close it."""
+    tracer = run.ctx.tracer
+    if not tracer.enabled:
+        return
+    tracer.instant("app", "metrics",
+                   snapshot=collect_run_metrics(run.ctx))
+    tracer.close()
 
 
 def static_sweep(
@@ -117,22 +136,29 @@ def static_sweep(
     thread_counts=(32, 16, 8, 4, 2),
     workload_kwargs: Optional[Dict[str, Any]] = None,
     conf_overrides: Optional[Dict[str, Any]] = None,
+    tracer_factory: Optional[Callable[[int], Optional[Tracer]]] = None,
     **cluster_kwargs: Any,
 ) -> Dict[int, WorkloadRun]:
     """The paper's Fig. 2/4/10 protocol: the static solution at each count.
 
-    The default count (32) run doubles as the paper's "Default Spark"
-    baseline, since the static solution at 32 threads is the default.
+    The run at the highest count doubles as the paper's "Default Spark"
+    baseline, since the static solution at all cores is the default.
+    ``tracer_factory(threads)`` may supply a fresh tracer per run; each one
+    is finalised (metrics event + close) before the next run starts.
     """
     runs: Dict[int, WorkloadRun] = {}
     for threads in thread_counts:
+        tracer = tracer_factory(threads) if tracer_factory else None
         runs[threads] = run_workload(
             workload,
             policy=("static", threads),
             conf_overrides=conf_overrides,
             workload_kwargs=workload_kwargs,
+            tracer=tracer,
             **cluster_kwargs,
         )
+        if tracer is not None:
+            finish_trace(runs[threads])
     return runs
 
 

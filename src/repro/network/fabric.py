@@ -64,6 +64,8 @@ class NetworkFabric:
         self.latency = latency
         self._egress: Dict[int, NetworkLink] = {}
         self._ingress: Dict[int, NetworkLink] = {}
+        #: Optional span tracer, wired by the owning context.
+        self.tracer = None
 
     def register_node(self, node_id: int, bandwidth: Optional[float] = None) -> None:
         if node_id in self._egress:
@@ -94,6 +96,14 @@ class NetworkFabric:
         bottleneck link determines the duration).  A same-node transfer is
         free: Spark short-circuits loopback fetches through memory.
         """
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.counter(
+                "network", f"nic.{src}", size,
+                dst=dst, tag=tag,
+                active_flows=self._egress[src].active_jobs + 1
+                if src in self._egress else 1,
+            )
         if src == dst:
             done = self.sim.event()
             done.succeed(size)

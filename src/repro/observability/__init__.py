@@ -1,0 +1,58 @@
+"""Structured event tracing and metrics: the simulator's "history server".
+
+The paper's whole argument rests on *seeing* what executors do -- epoll wait
+ε, throughput µ, congestion ζ, pool resizes, and the extended
+scheduler-notification protocol.  This package provides the unified timeline
+those signals previously lacked:
+
+* :mod:`repro.observability.tracer` -- hierarchical spans (job → stage →
+  task → I/O chunk; MAPE-K interval → monitor/analyze/plan/execute) emitted
+  through an event bus to pluggable sinks, stamped with simulated time and a
+  sequence number so logs are deterministic and diffable across seeds.
+* :mod:`repro.observability.sinks` -- in-memory store and a Spark-style
+  JSONL event log.
+* :mod:`repro.observability.chrome` -- Chrome ``trace_event`` exporter, so
+  any run opens in Perfetto / ``chrome://tracing``.
+* :mod:`repro.observability.metrics` -- counters/gauges/histograms
+  registered centrally and snapshot at run end.
+* :mod:`repro.observability.history` -- the history-server analogue:
+  reconstructs a run (per-stage runtime, pool-size decisions, the ζ
+  trajectory) from an event log alone.
+
+Tracing is zero-cost when disabled: every instrumentation site guards on
+``tracer.enabled`` before building any payload, and the default
+:data:`NULL_TRACER` never emits.
+"""
+
+from repro.observability.chrome import ChromeTraceSink, validate_chrome_trace
+from repro.observability.events import TraceEvent
+from repro.observability.history import HistoryReport, load_events, reconstruct
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collect_run_metrics,
+)
+from repro.observability.sinks import JsonLinesSink, MemorySink, TraceSink
+from repro.observability.tracer import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "ChromeTraceSink",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistoryReport",
+    "JsonLinesSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "TraceEvent",
+    "TraceSink",
+    "Tracer",
+    "collect_run_metrics",
+    "load_events",
+    "reconstruct",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,202 @@
+"""Chrome ``trace_event`` exporter: open any run in Perfetto.
+
+Emits the JSON Object Format (``{"traceEvents": [...]}``) understood by
+``chrome://tracing`` and https://ui.perfetto.dev.  Span begin/end pairs are
+folded into complete (``"X"``) events so the exporter never depends on the
+viewer's begin/end stack matching.
+
+Track layout: the driver (stages, scheduler, MAPE-K instants) is pid 0;
+each executor is pid ``executor_id + 1``.  Within a pid, overlapping spans
+(concurrent tasks on one executor) are spread across thread lanes by a
+greedy first-free-lane allocator so they render side by side instead of
+stacking incorrectly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, IO, List, Optional, Union
+
+from repro.observability.events import (
+    BEGIN,
+    COMPLETE,
+    COUNTER,
+    END,
+    INSTANT,
+    TraceEvent,
+)
+from repro.observability.sinks import TraceSink
+
+_SECONDS_TO_US = 1e6
+
+#: Phases this exporter produces (a subset of the trace_event vocabulary).
+CHROME_PHASES = ("X", "i", "C", "M")
+
+
+class _LaneAllocator:
+    """Greedy first-free-lane assignment of spans to thread ids."""
+
+    def __init__(self) -> None:
+        self._busy_until: List[float] = []
+
+    def acquire(self, start: float) -> int:
+        for lane, busy_until in enumerate(self._busy_until):
+            if busy_until <= start:
+                self._busy_until[lane] = math.inf
+                return lane
+        self._busy_until.append(math.inf)
+        return len(self._busy_until) - 1
+
+    def release(self, lane: int, end: float) -> None:
+        self._busy_until[lane] = end
+
+
+class ChromeTraceSink(TraceSink):
+    """Buffers the event stream and writes one trace_event JSON on close."""
+
+    def __init__(self, target: Union[str, IO[str]]) -> None:
+        self._target = target
+        self._events: List[Dict[str, Any]] = []
+        self._open_spans: Dict[int, tuple] = {}  # span -> (begin event, lane)
+        self._lanes: Dict[int, _LaneAllocator] = {}
+        self._named_pids: Dict[int, str] = {}
+
+    # -- track assignment --------------------------------------------------
+
+    @staticmethod
+    def _pid(event: TraceEvent) -> int:
+        executor = event.args.get("executor_id")
+        return 0 if executor is None else int(executor) + 1
+
+    def _name_pid(self, pid: int) -> None:
+        if pid in self._named_pids:
+            return
+        name = "driver" if pid == 0 else f"executor {pid - 1}"
+        self._named_pids[pid] = name
+        self._events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": name},
+        })
+
+    def _allocator(self, pid: int) -> _LaneAllocator:
+        if pid not in self._lanes:
+            self._lanes[pid] = _LaneAllocator()
+        return self._lanes[pid]
+
+    # -- sink interface ----------------------------------------------------
+
+    def write(self, event: TraceEvent) -> None:
+        if event.kind == BEGIN:
+            pid = self._pid(event)
+            self._name_pid(pid)
+            lane = self._allocator(pid).acquire(event.ts)
+            self._open_spans[event.span] = (event, lane)
+        elif event.kind == END:
+            entry = self._open_spans.pop(event.span, None)
+            if entry is None:
+                return  # end without begin: dropped, not fatal
+            begin, lane = entry
+            pid = self._pid(begin)
+            self._allocator(pid).release(lane, event.ts)
+            args = dict(begin.args)
+            args.update(event.args)
+            self._emit_complete(begin, event.ts - begin.ts, pid, lane, args)
+        elif event.kind == COMPLETE:
+            pid = self._pid(event)
+            self._name_pid(pid)
+            allocator = self._allocator(pid)
+            lane = allocator.acquire(event.ts)
+            allocator.release(lane, event.end_ts)
+            self._emit_complete(event, event.dur, pid, lane, dict(event.args))
+        elif event.kind == INSTANT:
+            pid = self._pid(event)
+            self._name_pid(pid)
+            self._events.append({
+                "name": event.name,
+                "cat": event.cat,
+                "ph": "i",
+                "s": "t",
+                "ts": event.ts * _SECONDS_TO_US,
+                "pid": pid,
+                "tid": 0,
+                "args": event.args,
+            })
+        elif event.kind == COUNTER:
+            pid = self._pid(event)
+            self._name_pid(pid)
+            self._events.append({
+                "name": f"{event.cat}.{event.name}",
+                "ph": "C",
+                "ts": event.ts * _SECONDS_TO_US,
+                "pid": pid,
+                "tid": 0,
+                "args": {"value": event.args.get("value", 0.0)},
+            })
+
+    def _emit_complete(self, begin: TraceEvent, dur: float, pid: int,
+                       lane: int, args: Dict[str, Any]) -> None:
+        self._events.append({
+            "name": begin.name,
+            "cat": begin.cat,
+            "ph": "X",
+            "ts": begin.ts * _SECONDS_TO_US,
+            "dur": max(0.0, dur) * _SECONDS_TO_US,
+            "pid": pid,
+            "tid": lane,
+            "args": args,
+        })
+
+    def close(self) -> None:
+        # Spans still open at close become zero-length markers at their start.
+        for span, (begin, lane) in sorted(self._open_spans.items()):
+            self._emit_complete(begin, 0.0, self._pid(begin), lane,
+                                dict(begin.args))
+        self._open_spans.clear()
+        document = {"traceEvents": self._events, "displayTimeUnit": "ms"}
+        if isinstance(self._target, str):
+            with open(self._target, "w", encoding="utf-8") as stream:
+                json.dump(document, stream)
+        else:
+            json.dump(document, self._target)
+
+
+def validate_chrome_trace(source: Union[str, Dict[str, Any]]) -> int:
+    """Validate a trace document against the ``trace_event`` JSON schema.
+
+    Accepts a file path or an already-parsed document.  Returns the number
+    of trace events; raises :class:`ValueError` on the first violation.
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as stream:
+            document = json.load(stream)
+    else:
+        document = source
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        raise ValueError("trace must be an object with a 'traceEvents' list")
+    events = document["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            raise ValueError(f"{where}: not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                raise ValueError(f"{where}: missing required key {key!r}")
+        if event["ph"] not in CHROME_PHASES:
+            raise ValueError(f"{where}: unknown phase {event['ph']!r}")
+        if event["ph"] == "M":
+            continue
+        if not isinstance(event.get("ts"), (int, float)):
+            raise ValueError(f"{where}: 'ts' must be numeric")
+        if event["ts"] < 0:
+            raise ValueError(f"{where}: negative timestamp")
+        if event["ph"] == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"{where}: 'X' event needs dur >= 0")
+    return len(events)

@@ -1,0 +1,168 @@
+"""Central metrics registry: counters, gauges, histograms.
+
+Instrumentation sites update metrics live (task completions, pool sizes,
+MAPE-K intervals); :func:`collect_run_metrics` folds in end-of-run gauges
+read from the simulated hardware (device bytes and busy time, NIC volume
+and utilisation) and returns a deterministic snapshot -- keys sorted, plain
+JSON-serialisable values -- suitable for the ``--json`` CLI mode and the
+trailing ``metrics`` event of a trace.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Streaming summary: count / sum / min / max / mean.
+
+    Non-finite observations (ζ = inf on a zero-throughput interval) are
+    counted separately instead of poisoning the sum.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "non_finite")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.non_finite = 0
+
+    def observe(self, value: float) -> None:
+        if not math.isfinite(value):
+            self.non_finite += 1
+            return
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+            "non_finite": self.non_finite,
+        }
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use, snapshot in sorted order."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+
+    def _get(self, name: str, factory) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif not isinstance(metric, factory):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        return {
+            name: metric.snapshot()
+            for name, metric in sorted(self._metrics.items())
+        }
+
+
+def collect_run_metrics(ctx) -> Dict[str, Dict[str, Any]]:
+    """End-of-run hardware gauges + the live registry, as one snapshot.
+
+    ``ctx`` is a :class:`~repro.engine.context.SparkContext`; typed loosely
+    to keep this package free of engine imports.
+    """
+    metrics = ctx.metrics
+    runtime = ctx.recorder.total_runtime
+    for node in ctx.cluster.nodes:
+        node.disk.sync()
+        node.cpu.sync()
+        prefix = f"node.{node.node_id}"
+        metrics.gauge(f"{prefix}.disk.bytes_read").set(node.disk.bytes_read)
+        metrics.gauge(f"{prefix}.disk.bytes_written").set(
+            node.disk.bytes_written
+        )
+        metrics.gauge(f"{prefix}.disk.busy_seconds").set(
+            node.disk.stats.busy_time
+        )
+        metrics.gauge(f"{prefix}.cpu.core_seconds").set(
+            node.cpu.stats.occupancy_integral
+        )
+    fabric = ctx.cluster.fabric
+    total_nic = 0.0
+    for node_id in fabric.node_ids:
+        for direction, link in (("out", fabric.egress(node_id)),
+                                ("in", fabric.ingress(node_id))):
+            name = f"node.{node_id}.nic.{direction}"
+            metrics.gauge(f"{name}.bytes").set(link.bytes_transferred)
+            utilisation = (
+                link.bytes_transferred / (link.capacity * runtime)
+                if runtime > 0 else 0.0
+            )
+            metrics.gauge(f"{name}.utilization").set(utilisation)
+            total_nic += link.bytes_transferred
+    metrics.gauge("network.bytes_total").set(total_nic)
+    metrics.gauge("scheduler.control_messages").set(
+        float(ctx.scheduler.channel.messages_sent)
+    )
+    metrics.gauge("run.simulated_seconds").set(runtime)
+    metrics.gauge("run.stages").set(float(len(ctx.recorder.stages)))
+    return metrics.snapshot()

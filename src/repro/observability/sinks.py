@@ -1,0 +1,75 @@
+"""Trace sinks: where the tracer's event stream lands.
+
+* :class:`MemorySink` -- keeps events in a list for tests and in-process
+  inspection.
+* :class:`JsonLinesSink` -- the Spark-eventlog analogue: one JSON object per
+  line, headed by a schema marker, replayable by
+  :mod:`repro.observability.history`.  Output is deterministic (insertion
+  order = ``(ts, seq)`` order) so logs from identical seeds diff clean.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, List, Optional, Union
+
+from repro.observability.events import SCHEMA, TraceEvent
+
+
+class TraceSink:
+    """Receives every event the tracer emits; close() flushes."""
+
+    def write(self, event: TraceEvent) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush buffered state; further writes are undefined."""
+
+
+class MemorySink(TraceSink):
+    """In-memory event store."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def write(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def by_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def by_cat(self, cat: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.cat == cat]
+
+
+class JsonLinesSink(TraceSink):
+    """Spark-style JSONL event log.
+
+    Accepts a path (opened and owned) or an already-open text stream (not
+    closed, so callers can write to ``io.StringIO`` in tests).
+    """
+
+    def __init__(self, target: Union[str, IO[str]]) -> None:
+        self._owns_stream = isinstance(target, str)
+        self._stream: Optional[IO[str]] = (
+            open(target, "w", encoding="utf-8") if self._owns_stream
+            else target
+        )
+        self._stream.write(json.dumps({"kind": "meta", "schema": SCHEMA}))
+        self._stream.write("\n")
+
+    def write(self, event: TraceEvent) -> None:
+        if self._stream is None:
+            raise RuntimeError("sink is closed")
+        self._stream.write(
+            json.dumps(event.to_json(), separators=(",", ":"), sort_keys=True)
+        )
+        self._stream.write("\n")
+
+    def close(self) -> None:
+        if self._stream is None:
+            return
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+        self._stream = None

@@ -1,0 +1,147 @@
+"""The span tracer: an event bus from instrumentation sites to sinks.
+
+Design constraints (ISSUE 1):
+
+* **Zero-cost when disabled.**  Call sites guard with ``if tracer.enabled:``
+  before building argument dicts, and :data:`NULL_TRACER` (the default wired
+  into every :class:`~repro.engine.context.SparkContext`) is permanently
+  disabled, so benchmark runs pay one attribute read per potential event.
+* **Deterministic.**  Timestamps come from the simulated clock and ties are
+  broken by an emission sequence number, so identical seeds give identical
+  logs.
+* **Pluggable sinks.**  The tracer fans every event out to its sinks
+  (in-memory, JSONL event log, Chrome trace); sinks never see partial spans.
+
+The tracer is clock-agnostic at construction: the context that owns the
+simulator binds the clock (``bind_clock``) before the first event, which
+lets command-line code build a tracer before any cluster exists.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+from repro.observability.events import (
+    BEGIN,
+    COMPLETE,
+    COUNTER,
+    END,
+    INSTANT,
+    TraceEvent,
+)
+from repro.observability.sinks import TraceSink
+
+
+def _zero_clock() -> float:
+    return 0.0
+
+
+class Tracer:
+    """Emits :class:`TraceEvent` records to every attached sink."""
+
+    def __init__(
+        self,
+        sinks: Iterable[TraceSink] = (),
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.sinks = list(sinks)
+        self.clock = clock if clock is not None else _zero_clock
+        self.enabled = True
+        self._next_seq = 0
+        self._next_span = 0
+        self._closed = False
+
+    # -- wiring ------------------------------------------------------------
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Attach the simulated clock (called by the owning context)."""
+        self.clock = clock
+
+    def add_sink(self, sink: TraceSink) -> None:
+        self.sinks.append(sink)
+
+    # -- emission ----------------------------------------------------------
+
+    def _emit(self, event: TraceEvent) -> None:
+        for sink in self.sinks:
+            sink.write(event)
+
+    def _stamp(self) -> tuple:
+        seq = self._next_seq
+        self._next_seq += 1
+        return self.clock(), seq
+
+    def begin(self, cat: str, name: str, parent: int = -1,
+              **args: Any) -> int:
+        """Open a span; returns its id for the matching :meth:`end`."""
+        span = self._next_span
+        self._next_span += 1
+        ts, seq = self._stamp()
+        self._emit(TraceEvent(ts, seq, BEGIN, cat, name,
+                              span=span, parent=parent, args=args))
+        return span
+
+    def end(self, span: int, **args: Any) -> None:
+        """Close a span opened by :meth:`begin`."""
+        ts, seq = self._stamp()
+        self._emit(TraceEvent(ts, seq, END, "", "", span=span, args=args))
+
+    def complete(self, cat: str, name: str, start: float, end: float,
+                 parent: int = -1, **args: Any) -> None:
+        """Report a finished span whose start predates this call."""
+        _ts, seq = self._stamp()
+        self._emit(TraceEvent(start, seq, COMPLETE, cat, name,
+                              parent=parent, dur=max(0.0, end - start),
+                              args=args))
+
+    def instant(self, cat: str, name: str, **args: Any) -> None:
+        ts, seq = self._stamp()
+        self._emit(TraceEvent(ts, seq, INSTANT, cat, name, args=args))
+
+    def counter(self, cat: str, name: str, value: float, **args: Any) -> None:
+        ts, seq = self._stamp()
+        args["value"] = value
+        self._emit(TraceEvent(ts, seq, COUNTER, cat, name, args=args))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush and close every sink (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for sink in self.sinks:
+            sink.close()
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: never emits, never costs more than one check.
+
+    Instrumentation sites are expected to guard on ``tracer.enabled``; the
+    overridden methods exist so an unguarded call is still harmless.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(sinks=())
+        self.enabled = False
+
+    def begin(self, cat: str, name: str, parent: int = -1,
+              **args: Any) -> int:  # noqa: ARG002 - interface parity
+        return -1
+
+    def end(self, span: int, **args: Any) -> None:
+        pass
+
+    def complete(self, cat: str, name: str, start: float, end: float,
+                 parent: int = -1, **args: Any) -> None:
+        pass
+
+    def instant(self, cat: str, name: str, **args: Any) -> None:
+        pass
+
+    def counter(self, cat: str, name: str, value: float, **args: Any) -> None:
+        pass
+
+
+#: Shared disabled tracer; safe because it holds no state and no sinks.
+NULL_TRACER = NullTracer()

@@ -118,7 +118,7 @@ class Process(Event):
     so processes can wait on each other.
     """
 
-    __slots__ = ("generator", "name", "_waiting_on")
+    __slots__ = ("generator", "name", "_waiting_on", "_trace_span")
 
     def __init__(
         self,
@@ -134,6 +134,11 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Optional[Event] = None
+        tracer = sim.tracer
+        if tracer is not None and tracer.enabled:
+            self._trace_span = tracer.begin("process", self.name)
+        else:
+            self._trace_span = -1
         bootstrap = Event(sim)
         bootstrap._value = None
         bootstrap._ok = True
@@ -156,12 +161,16 @@ class Process(Event):
             self._value = stop.value
             self._ok = True
             self._triggered = True
+            if self._trace_span >= 0:
+                self.sim.tracer.end(self._trace_span)
             self.sim._schedule(self, delay=0.0)
             return
         except BaseException as exc:  # noqa: BLE001 - propagate into waiters
             self._value = exc
             self._ok = False
             self._triggered = True
+            if self._trace_span >= 0:
+                self.sim.tracer.end(self._trace_span, error=repr(exc))
             self.sim._schedule(self, delay=0.0)
             return
         if not isinstance(target, Event):
@@ -244,6 +253,10 @@ class Simulator:
         self._now = 0.0
         self._queue: List[tuple] = []
         self._sequence = 0
+        #: Optional span tracer (duck-typed to avoid importing observability
+        #: here); embedders wire it, and every hook guards on ``enabled`` so
+        #: the untraced path costs one attribute read.
+        self.tracer: Optional[Any] = None
 
     @property
     def now(self) -> float:

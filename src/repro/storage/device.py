@@ -129,6 +129,9 @@ class StorageDevice(FairShareResource):
         super().__init__(sim, name, capacity=profile.read_rate)
         self.profile = profile
         self.speed_factor = speed_factor
+        #: Optional span tracer, wired by the owning context; every hook
+        #: guards on it so untraced runs pay one attribute read per request.
+        self.tracer = None
 
     def rates(self, jobs: List[Job]) -> Dict[Job, float]:
         k = len(jobs)
@@ -160,6 +163,14 @@ class StorageDevice(FairShareResource):
 
         def start_transfer(_event: Event) -> None:
             job = self.submit(size, tag=op, op=op)
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                depth = self.active_jobs
+                tracer.counter(
+                    "device", self.name, float(depth),
+                    efficiency=self.profile.efficiency(op, max(1, depth)),
+                    op=op,
+                )
             job.event.add_callback(lambda _e: done.succeed(size))
 
         self.sim.timeout(latency).add_callback(start_transfer)

@@ -1,0 +1,75 @@
+"""RunRecorder serialisation and the open-stage fix (Optional end_time)."""
+
+import json
+
+from repro.engine.metrics import RunRecorder, StageRecord
+from repro.harness.runner import run_workload
+
+
+def make_recorder():
+    run = run_workload("terasort", policy="dynamic",
+                       workload_kwargs={"scale": 0.02}, num_nodes=2)
+    return run.ctx.recorder
+
+
+class TestOpenStageDetection:
+    def test_stage_closing_at_time_zero_is_closed(self):
+        # The old sentinel (end_time == 0.0 means open) misread this case.
+        record = StageRecord(stage_id=0, name="s", is_io_marked=False,
+                             num_tasks=0, start_time=0.0)
+        recorder = RunRecorder()
+        recorder.begin_stage(record)
+        assert recorder.current_stage is record
+        record.close(0.0)
+        assert record.closed
+        assert recorder.current_stage is None
+        assert record.duration == 0.0
+
+    def test_open_stage_has_zero_duration(self):
+        record = StageRecord(stage_id=0, name="s", is_io_marked=False,
+                             num_tasks=4, start_time=3.0)
+        assert not record.closed
+        assert record.duration == 0.0
+
+    def test_total_runtime_ignores_open_stages(self):
+        recorder = RunRecorder()
+        first = StageRecord(stage_id=0, name="a", is_io_marked=False,
+                            num_tasks=1, start_time=1.0)
+        recorder.begin_stage(first)
+        first.close(4.0)
+        recorder.begin_stage(
+            StageRecord(stage_id=1, name="b", is_io_marked=False,
+                        num_tasks=1, start_time=4.0)
+        )
+        assert recorder.total_runtime == 3.0
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_preserves_everything(self):
+        recorder = make_recorder()
+        clone = RunRecorder.from_dict(recorder.to_dict())
+        assert clone.total_runtime == recorder.total_runtime
+        assert len(clone.stages) == len(recorder.stages)
+        for restored, original in zip(clone.stages, recorder.stages):
+            assert restored == original
+        assert clone.samples == recorder.samples
+
+    def test_round_trip_survives_json(self):
+        recorder = make_recorder()
+        doc = json.loads(json.dumps(recorder.to_dict()))
+        clone = RunRecorder.from_dict(doc)
+        assert clone.total_runtime == recorder.total_runtime
+        assert [s.final_pool_sizes() for s in clone.stages] == [
+            s.final_pool_sizes() for s in recorder.stages
+        ]
+
+    def test_summary_dict_matches_recorder(self):
+        recorder = make_recorder()
+        summary = recorder.summary_dict()
+        assert summary["runtime"] == recorder.total_runtime
+        assert len(summary["stages"]) == len(recorder.stages)
+        for doc, stage in zip(summary["stages"], recorder.stages):
+            assert doc["duration"] == stage.duration
+            assert doc["final_pool_sizes"] == {
+                str(k): v for k, v in stage.final_pool_sizes().items()
+            }

@@ -1,0 +1,48 @@
+"""Tracing must never perturb the simulation and must itself be stable."""
+
+import io
+
+from repro.harness.runner import run_workload
+from repro.observability.sinks import JsonLinesSink, MemorySink
+from repro.observability.tracer import Tracer
+
+KW = dict(workload_kwargs={"scale": 0.02}, num_nodes=2)
+
+
+class TestZeroCost:
+    def test_traced_run_is_bit_identical_to_untraced(self):
+        plain = run_workload("terasort", policy="dynamic", **KW)
+        traced = run_workload("terasort", policy="dynamic",
+                              tracer=Tracer(sinks=[MemorySink()]), **KW)
+        assert traced.runtime == plain.runtime
+        assert traced.stage_durations() == plain.stage_durations()
+        plain_tasks = [t.finish_time for s in plain.ctx.recorder.stages
+                       for t in s.tasks]
+        traced_tasks = [t.finish_time for s in traced.ctx.recorder.stages
+                        for t in s.tasks]
+        assert traced_tasks == plain_tasks
+
+    def test_default_context_uses_null_tracer(self):
+        run = run_workload("wordcount", **KW)
+        assert run.ctx.tracer.enabled is False
+
+
+class TestStableLogs:
+    def test_identical_seeds_give_identical_logs(self):
+        logs = []
+        for _ in range(2):
+            stream = io.StringIO()
+            run_workload("terasort", policy="dynamic",
+                         tracer=Tracer(sinks=[JsonLinesSink(stream)]), **KW)
+            logs.append(stream.getvalue())
+        assert logs[0] == logs[1]
+
+    def test_events_ordered_by_time_then_sequence(self):
+        sink = MemorySink()
+        run_workload("terasort", policy="dynamic",
+                     tracer=Tracer(sinks=[sink]), **KW)
+        # X events are stamped at their span's *start*, which predates the
+        # emission point; every other kind is emitted at its timestamp.
+        stamps = [(e.ts, e.seq) for e in sink.events if e.kind != "X"]
+        assert stamps == sorted(stamps)
+        assert [e.seq for e in sink.events] == list(range(len(sink.events)))

@@ -1,0 +1,96 @@
+"""Metrics registry unit tests and end-of-run collection."""
+
+import math
+
+import pytest
+
+from repro.harness.runner import run_workload
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collect_run_metrics,
+)
+
+
+class TestPrimitives:
+    def test_counter_accumulates(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        assert counter.snapshot() == {"type": "counter", "value": 3.5}
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1.0)
+
+    def test_gauge_last_write_wins(self):
+        gauge = Gauge()
+        gauge.set(5)
+        gauge.set(2.0)
+        assert gauge.snapshot() == {"type": "gauge", "value": 2.0}
+
+    def test_histogram_summary(self):
+        hist = Histogram()
+        for value in (1.0, 3.0, 2.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 3
+        assert snap["min"] == 1.0
+        assert snap["max"] == 3.0
+        assert snap["mean"] == 2.0
+
+    def test_histogram_isolates_non_finite(self):
+        hist = Histogram()
+        hist.observe(float("inf"))
+        hist.observe(float("nan"))
+        hist.observe(1.0)
+        snap = hist.snapshot()
+        assert snap["count"] == 1
+        assert snap["non_finite"] == 2
+        assert math.isfinite(snap["sum"])
+
+    def test_empty_histogram_snapshot_is_finite(self):
+        snap = Histogram().snapshot()
+        assert snap["min"] == 0.0
+        assert snap["max"] == 0.0
+        assert snap["mean"] == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert "a" in registry
+
+    def test_type_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(TypeError):
+            registry.gauge("a")
+
+    def test_snapshot_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.gauge("a").set(1.0)
+        assert list(registry.snapshot()) == ["a", "b"]
+
+
+class TestCollectRunMetrics:
+    def test_snapshot_covers_hardware_and_run(self):
+        run = run_workload("terasort", policy="dynamic",
+                           workload_kwargs={"scale": 0.02})
+        snapshot = collect_run_metrics(run.ctx)
+        assert snapshot["run.simulated_seconds"]["value"] == run.runtime
+        assert snapshot["run.stages"]["value"] == len(run.stages)
+        assert snapshot["node.0.disk.bytes_read"]["value"] > 0
+        assert snapshot["network.bytes_total"]["value"] >= 0
+        assert 0.0 <= snapshot["node.0.nic.out.utilization"]["value"] <= 1.0
+        # Live instrumentation fed the same registry during the run.
+        assert snapshot["scheduler.tasks_launched"]["value"] > 0
+        assert snapshot["tasks.completed"]["value"] > 0
+        assert snapshot["mapek.intervals"]["value"] > 0
+        assert snapshot["mapek.zeta"]["type"] == "histogram"
+        assert snapshot["executor.0.pool_size"]["value"] >= 1

@@ -1,0 +1,145 @@
+"""Tracer, event, and sink unit tests."""
+
+import io
+import json
+
+import pytest
+
+from repro.observability.events import (
+    BEGIN,
+    COMPLETE,
+    COUNTER,
+    END,
+    INSTANT,
+    SCHEMA,
+    TraceEvent,
+)
+from repro.observability.sinks import JsonLinesSink, MemorySink
+from repro.observability.tracer import NULL_TRACER, NullTracer, Tracer
+
+
+class TestTraceEvent:
+    def test_json_round_trip(self):
+        event = TraceEvent(1.5, 7, BEGIN, "task", "task 0.3",
+                           span=12, parent=4, args={"executor_id": 1})
+        assert TraceEvent.from_json(event.to_json()) == event
+
+    def test_defaults_omitted_from_json(self):
+        doc = TraceEvent(0.0, 0, INSTANT, "pool", "resize").to_json()
+        assert "span" not in doc
+        assert "parent" not in doc
+        assert "dur" not in doc
+        assert "args" not in doc
+
+    def test_complete_carries_duration(self):
+        event = TraceEvent(2.0, 0, COMPLETE, "mapek", "interval", dur=3.0)
+        assert event.to_json()["dur"] == 3.0
+        assert event.end_ts == 5.0
+
+    def test_non_complete_end_ts_is_ts(self):
+        assert TraceEvent(2.0, 0, BEGIN, "a", "b", dur=9.0).end_ts == 2.0
+
+
+class TestTracer:
+    def test_begin_end_pair(self):
+        sink = MemorySink()
+        tracer = Tracer(sinks=[sink])
+        span = tracer.begin("stage", "map", stage_id=0)
+        tracer.end(span, outcome="ok")
+        begin, end = sink.events
+        assert begin.kind == BEGIN and begin.span == span
+        assert begin.args == {"stage_id": 0}
+        assert end.kind == END and end.span == span
+        assert end.args == {"outcome": "ok"}
+
+    def test_span_ids_unique(self):
+        tracer = Tracer(sinks=[MemorySink()])
+        spans = [tracer.begin("c", "n") for _ in range(10)]
+        assert len(set(spans)) == 10
+
+    def test_sequence_monotonic_across_kinds(self):
+        sink = MemorySink()
+        tracer = Tracer(sinks=[sink])
+        span = tracer.begin("a", "b")
+        tracer.instant("a", "i")
+        tracer.counter("a", "c", 1.0)
+        tracer.complete("a", "x", 0.0, 1.0)
+        tracer.end(span)
+        assert [e.seq for e in sink.events] == [0, 1, 2, 3, 4]
+
+    def test_clock_binding(self):
+        sink = MemorySink()
+        tracer = Tracer(sinks=[sink])
+        tracer.instant("a", "before")
+        tracer.bind_clock(lambda: 42.0)
+        tracer.instant("a", "after")
+        assert sink.events[0].ts == 0.0
+        assert sink.events[1].ts == 42.0
+
+    def test_counter_folds_value_into_args(self):
+        sink = MemorySink()
+        tracer = Tracer(sinks=[sink])
+        tracer.counter("device", "disk.0", 3.0, op="read")
+        (event,) = sink.events
+        assert event.kind == COUNTER
+        assert event.args == {"op": "read", "value": 3.0}
+
+    def test_complete_clamps_negative_duration(self):
+        sink = MemorySink()
+        tracer = Tracer(sinks=[sink])
+        tracer.complete("m", "interval", 5.0, 4.0)
+        assert sink.events[0].dur == 0.0
+
+    def test_fan_out_to_all_sinks(self):
+        first, second = MemorySink(), MemorySink()
+        tracer = Tracer(sinks=[first])
+        tracer.add_sink(second)
+        tracer.instant("a", "b")
+        assert len(first.events) == 1
+        assert len(second.events) == 1
+
+    def test_close_is_idempotent(self):
+        stream = io.StringIO()
+        tracer = Tracer(sinks=[JsonLinesSink(stream)])
+        tracer.instant("a", "b")
+        tracer.close()
+        tracer.close()
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.begin("a", "b") == -1
+        NULL_TRACER.end(0)
+        NULL_TRACER.instant("a", "b")
+        NULL_TRACER.counter("a", "b", 1.0)
+        NULL_TRACER.complete("a", "b", 0.0, 1.0)
+        assert NULL_TRACER.sinks == []
+
+    def test_fresh_instance_matches_singleton(self):
+        assert NullTracer().enabled is False
+
+
+class TestJsonLinesSink:
+    def test_header_then_events(self):
+        stream = io.StringIO()
+        sink = JsonLinesSink(stream)
+        sink.write(TraceEvent(0.5, 0, INSTANT, "a", "b"))
+        sink.close()
+        lines = stream.getvalue().strip().splitlines()
+        assert json.loads(lines[0]) == {"kind": "meta", "schema": SCHEMA}
+        assert json.loads(lines[1])["name"] == "b"
+
+    def test_write_after_close_raises(self):
+        stream = io.StringIO()
+        sink = JsonLinesSink(stream)
+        sink.close()
+        with pytest.raises(RuntimeError):
+            sink.write(TraceEvent(0.0, 0, INSTANT, "a", "b"))
+
+    def test_path_target_owns_file(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        sink = JsonLinesSink(str(path))
+        sink.write(TraceEvent(0.0, 0, INSTANT, "a", "b"))
+        sink.close()
+        assert len(path.read_text().strip().splitlines()) == 2

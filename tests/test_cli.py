@@ -1,8 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _suffix_path, _thread_counts, build_parser, main
 
 
 class TestParser:
@@ -72,3 +74,138 @@ class TestCommands:
         assert "default" in out
         assert "static bestfit" in out
         assert "self-adaptive" in out
+
+    def test_compare_respects_cores(self, capsys):
+        # The baseline is the sweep's top count, not a hardcoded 32.
+        code = main(["compare", "wordcount", "--scale", "0.02",
+                     "--nodes", "2", "--cores", "8", "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["cores"] == 8
+        assert doc["systems"]["default"]["reduction_vs_default"] is None
+
+
+class TestHelpers:
+    def test_thread_counts_halve_down_to_two(self):
+        assert _thread_counts(32) == (32, 16, 8, 4, 2)
+        assert _thread_counts(8) == (8, 4, 2)
+        assert _thread_counts(6) == (6, 3)
+
+    def test_thread_counts_single_core(self):
+        assert _thread_counts(1) == (1,)
+
+    def test_thread_counts_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            _thread_counts(0)
+
+    def test_suffix_path(self):
+        assert _suffix_path("out.jsonl", "t8") == "out.t8.jsonl"
+        assert _suffix_path("trace", "dynamic") == "trace.dynamic"
+
+
+class TestJsonMode:
+    def test_run_json_round_trips(self, capsys):
+        code = main(["run", "wordcount", "--scale", "0.02", "--nodes", "2",
+                     "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["command"] == "run"
+        assert doc["workload"] == "wordcount"
+        assert doc["runtime"] > 0
+        for stage in doc["stages"]:
+            assert stage["duration"] >= 0
+            assert stage["final_pool_sizes"]
+        # Round trip: serialising again yields the same document.
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_sweep_json(self, capsys):
+        code = main(["sweep", "wordcount", "--scale", "0.02", "--nodes", "2",
+                     "--cores", "4", "--json"])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["thread_counts"] == [4, 2]
+        assert set(doc["runs"]) == {"4", "2"}
+        assert doc["bestfit"]
+
+
+class TestTracingFlags:
+    def test_run_writes_event_log_and_chrome_trace(self, tmp_path, capsys):
+        events = tmp_path / "run.jsonl"
+        trace = tmp_path / "run.trace.json"
+        code = main(["run", "wordcount", "--scale", "0.02", "--nodes", "2",
+                     "--events", str(events), "--trace", str(trace)])
+        assert code == 0
+        assert events.exists() and trace.exists()
+        first = json.loads(events.read_text().splitlines()[0])
+        assert first["kind"] == "meta"
+        chrome = json.loads(trace.read_text())
+        assert chrome["traceEvents"]
+
+    def test_sweep_writes_per_run_logs(self, tmp_path, capsys):
+        events = tmp_path / "sweep.jsonl"
+        code = main(["sweep", "wordcount", "--scale", "0.02", "--nodes", "2",
+                     "--cores", "4", "--events", str(events)])
+        assert code == 0
+        assert (tmp_path / "sweep.t4.jsonl").exists()
+        assert (tmp_path / "sweep.t2.jsonl").exists()
+
+    def test_compare_writes_labelled_logs(self, tmp_path, capsys):
+        events = tmp_path / "cmp.jsonl"
+        code = main(["compare", "wordcount", "--scale", "0.02",
+                     "--nodes", "2", "--cores", "4",
+                     "--events", str(events)])
+        assert code == 0
+        for suffix in ("t4", "t2", "bestfit", "dynamic"):
+            assert (tmp_path / f"cmp.{suffix}.jsonl").exists()
+
+
+class TestHistoryCommand:
+    def test_history_matches_live_run(self, tmp_path, capsys):
+        events = tmp_path / "run.jsonl"
+        assert main(["run", "wordcount", "--scale", "0.02", "--nodes", "2",
+                     "--policy", "dynamic", "--events", str(events),
+                     "--json"]) == 0
+        live = json.loads(capsys.readouterr().out)
+        assert main(["history", str(events), "--json"]) == 0
+        replayed = json.loads(capsys.readouterr().out)
+        assert replayed["total_runtime"] == live["runtime"]
+        assert [s["duration"] for s in replayed["stages"]] == [
+            s["duration"] for s in live["stages"]
+        ]
+        assert [s["final_pool_sizes"] for s in replayed["stages"]] == [
+            s["final_pool_sizes"] for s in live["stages"]
+        ]
+
+    def test_history_table_output(self, tmp_path, capsys):
+        events = tmp_path / "run.jsonl"
+        assert main(["run", "wordcount", "--scale", "0.02", "--nodes", "2",
+                     "--events", str(events)]) == 0
+        capsys.readouterr()
+        assert main(["history", str(events)]) == 0
+        out = capsys.readouterr().out
+        assert "total runtime" in out
+        assert "stage" in out
+
+    def test_history_missing_file_errors(self, tmp_path, capsys):
+        code = main(["history", str(tmp_path / "absent.jsonl")])
+        assert code == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_history_wrong_format_errors_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "not-a-log.json"
+        path.write_text('{"traceEvents": []}\n')
+        code = main(["history", str(path)])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBadInputs:
+    def test_cores_zero_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "wordcount", "--cores", "0"])
+
+    def test_unwritable_events_path_errors_cleanly(self, capsys):
+        code = main(["run", "wordcount", "--scale", "0.02", "--nodes", "2",
+                     "--events", "/no/such/dir/x.jsonl"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
