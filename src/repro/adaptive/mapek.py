@@ -130,6 +130,17 @@ class Monitor:
             return None
         return self.sensor.read()
 
+    def rearm(self) -> None:
+        """Restart the interval in progress, discarding partial readings.
+
+        Called after a fault: a killed or crashed task's partial I/O wait is
+        already in the sensor counters, so the interval can no longer produce
+        a trustworthy ζ.  Re-arming resets the sensor baseline; the interval
+        simply monitors the next ``j`` clean completions instead.
+        """
+        self._warmup_left = 0
+        self._arm()
+
 
 @dataclass(frozen=True)
 class Decision:
@@ -247,6 +258,30 @@ class AdaptiveControlLoop:
     def initial_threads(self) -> int:
         """The hill-climb "always starts from the minimum number of threads"."""
         return self.knowledge.cmin
+
+    def invalidate_interval(self, reason: str) -> None:
+        """Discard the contaminated interval after a fault (FAULTS.md).
+
+        Rollback correctness is preserved: the knowledge base's history only
+        ever records *completed* clean intervals, so discarding the one in
+        flight cannot corrupt the hill-climb's reference point.  A settled
+        loop stays settled -- re-adapting to a transient fault would leave
+        the pool mis-sized once conditions recover.
+        """
+        if self.settled:
+            return
+        self.monitor.rearm()
+        ctx = self.executor.ctx
+        tracer = ctx.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "mapek", "interval-invalidated",
+                executor_id=self.executor.executor_id,
+                stage_id=self.stage.stage_id,
+                threads=self.knowledge.current_threads,
+                reason=reason,
+            )
+        ctx.metrics.counter("mapek.intervals_invalidated").inc()
 
     def on_task_complete(self) -> Optional[int]:
         """Run one loop iteration; returns a new pool size if one is due."""

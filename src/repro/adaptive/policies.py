@@ -61,6 +61,10 @@ class AdaptivePolicy(ExecutorPolicy):
             return None
         return self._loop.on_task_complete()
 
+    def on_fault(self, executor, reason: str) -> None:
+        if self._loop is not None:
+            self._loop.invalidate_interval(reason)
+
 
 class BestFitPolicy(ExecutorPolicy):
     """Per-stage oracle sizes (the paper's hypothetical "static BestFit").

@@ -4,6 +4,8 @@ Examples::
 
     python -m repro run terasort --policy dynamic --scale 0.25
     python -m repro run terasort --policy dynamic --events out.jsonl
+    python -m repro run terasort --faults examples/faults/node-loss.json
+    python -m repro faults generate node-loss --at 60 --out plan.json
     python -m repro compare pagerank --scale 0.5
     python -m repro sweep terasort --device ssd --trace sweep.json
     python -m repro history out.jsonl
@@ -25,6 +27,7 @@ import os
 import sys
 from typing import List, Optional
 
+from repro.faults.plan import CANNED_PLANS, FaultPlan
 from repro.harness.report import render_table
 from repro.harness.runner import (
     derive_bestfit,
@@ -67,6 +70,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _common_args(sweep)
 
+    faults = sub.add_parser(
+        "faults", help="fault-plan utilities (see FAULTS.md)"
+    )
+    faults_sub = faults.add_subparsers(dest="faults_command", required=True)
+    generate = faults_sub.add_parser(
+        "generate", help="write a canned fault plan as JSON"
+    )
+    generate.add_argument("kind", choices=sorted(CANNED_PLANS))
+    generate.add_argument("--out", metavar="PATH", default=None,
+                          help="output path (default: stdout)")
+    generate.add_argument("--at", type=float, default=None,
+                          help="fault time in simulated seconds")
+    generate.add_argument("--node", type=int, default=None,
+                          help="target node id")
+    generate.add_argument("--executor", type=int, default=None,
+                          help="target executor id (executor-loss)")
+    generate.add_argument("--duration", type=float, default=None,
+                          help="episode length (disk-degrade / stragglers)")
+    generate.add_argument("--factor", type=float, default=None,
+                          help="speed multiplier during the episode")
+    generate.add_argument("--probability", type=float, default=None,
+                          help="per-attempt crash probability (task-crashes)")
+    generate.add_argument("--max-crashes", type=int, default=None,
+                          help="total crash budget (task-crashes)")
+    generate.add_argument("--plan-seed", type=int, default=0,
+                          help="seed for the plan's pseudo-random decisions")
+    generate.add_argument("--no-speculation", action="store_true",
+                          help="stragglers: do not enable speculation")
+    show = faults_sub.add_parser(
+        "show", help="validate a fault-plan file and summarise it"
+    )
+    show.add_argument("plan", help="fault plan JSON (see FAULTS.md)")
+
     history = sub.add_parser(
         "history", help="reconstruct a finished run from its event log"
     )
@@ -87,6 +123,8 @@ def _common_args(parser: argparse.ArgumentParser) -> None:
                         help="virtual cores per node (the default pool size)")
     parser.add_argument("--device", choices=("hdd", "ssd"), default="hdd")
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--faults", metavar="PLAN.json", default=None,
+                        help="inject faults from a plan file (see FAULTS.md)")
     parser.add_argument("--events", metavar="PATH", default=None,
                         help="write a JSONL event log (see 'repro history')")
     parser.add_argument("--trace", metavar="PATH", default=None,
@@ -111,13 +149,16 @@ def _policy_spec(args):
 
 
 def _run_kwargs(args):
-    return dict(
+    kwargs = dict(
         num_nodes=args.nodes,
         cores=args.cores,
         device=args.device,
         seed=args.seed,
         workload_kwargs={"scale": args.scale},
     )
+    if getattr(args, "faults", None):
+        kwargs["fault_plan"] = FaultPlan.load(args.faults)
+    return kwargs
 
 
 def _thread_counts(cores: int) -> tuple:
@@ -310,6 +351,58 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    if args.faults_command == "show":
+        plan = FaultPlan.load(args.plan)  # load() validates
+        counts = {
+            "task_crashes": len(plan.task_crashes),
+            "executor_losses": len(plan.executor_losses),
+            "node_losses": len(plan.node_losses),
+            "disk_degradations": len(plan.disk_degradations),
+            "stragglers": len(plan.stragglers),
+        }
+        print(f"valid fault plan (seed {plan.seed})")
+        for name, count in counts.items():
+            if count:
+                print(f"  {name}: {count}")
+        if plan.crash_rate is not None:
+            print(f"  crash_rate: p={plan.crash_rate.probability} "
+                  f"max={plan.crash_rate.max_crashes}")
+        if plan.speculation is not None:
+            spec = plan.speculation
+            print(f"  speculation: enabled={spec.enabled} "
+                  f"multiplier={spec.multiplier} quantile={spec.quantile}")
+        if plan.is_empty:
+            print("  (empty: no faults will be injected)")
+        return 0
+
+    # generate: map the generic flags onto the chosen builder's kwargs.
+    option_names = {
+        "node-loss": {"node": "node_id", "at": "at"},
+        "executor-loss": {"executor": "executor_id", "at": "at"},
+        "task-crashes": {"probability": "probability",
+                         "max_crashes": "max_crashes"},
+        "disk-degrade": {"node": "node_id", "at": "at",
+                         "duration": "duration", "factor": "factor"},
+        "stragglers": {"node": "node_id", "at": "at",
+                       "duration": "duration", "factor": "factor"},
+    }[args.kind]
+    kwargs = {"seed": args.plan_seed}
+    for flag, param in option_names.items():
+        value = getattr(args, flag)
+        if value is not None:
+            kwargs[param] = value
+    if args.kind == "stragglers" and args.no_speculation:
+        kwargs["speculation"] = False
+    plan = CANNED_PLANS[args.kind](**kwargs)
+    if args.out is None:
+        print(plan.to_json())
+    else:
+        plan.save(args.out)
+        print(f"wrote {args.kind} plan to {args.out}")
+    return 0
+
+
 def cmd_history(args) -> int:
     try:
         events = load_events(args.eventlog)
@@ -378,6 +471,7 @@ COMMANDS = {
     "run": cmd_run,
     "sweep": cmd_sweep,
     "compare": cmd_compare,
+    "faults": cmd_faults,
     "history": cmd_history,
 }
 

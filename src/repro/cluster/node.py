@@ -58,6 +58,9 @@ class Node:
         )
         fabric.register_node(node_id, bandwidth=spec.nic_bandwidth)
         self.fabric = fabric
+        #: Flipped to False by fault injection (node loss); schedulers and
+        #: read-path planners consult it before routing work here.
+        self.alive = True
 
     @property
     def cores(self) -> int:

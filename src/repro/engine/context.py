@@ -46,7 +46,11 @@ class SparkContext:
         monitoring_interval: float = 1.0,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        fault_plan=None,
     ) -> None:
+        #: Set before anything else: executors read ``ctx.faults`` on their
+        #: hot path, and ``None`` means every fault branch is skipped.
+        self.faults = None
         self.cluster = cluster if cluster is not None else Cluster(ClusterSpec())
         self.sim = self.cluster.sim
         self.streams = self.cluster.streams
@@ -74,6 +78,12 @@ class SparkContext:
         self._next_rdd_id = 0
         if policy_factory is not None:
             self.set_policy_factory(policy_factory)
+        if fault_plan is not None:
+            # Imported lazily: repro.faults depends on engine types.
+            from repro.faults import FaultInjector
+
+            self.faults = FaultInjector(self, fault_plan)
+            self.faults.wire()
 
     # -- wiring ------------------------------------------------------------------
 
@@ -163,12 +173,19 @@ class SparkContext:
             return results
 
         handle = self.sim.process(job(), name=f"job-{rdd.name}")
-        self.sim.run()
+        if self.faults is None:
+            self.sim.run()
+        else:
+            # Stop at job completion instead of draining the queue: pending
+            # fault timers must fire *during* later jobs, not idle-fire now.
+            self.sim.run_until(handle)
         if not handle.triggered:
             raise RuntimeError(
                 f"job on {rdd.name} deadlocked: the event queue drained with "
                 f"{len(stages)} stages planned but the job incomplete"
             )
+        if not handle.ok:
+            raise handle.value
         return action.finalize(handle.value, rdd)
 
     # -- reporting ------------------------------------------------------------------------

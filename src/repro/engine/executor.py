@@ -17,14 +17,22 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.engine.metrics import PoolEvent, StageRecord, TaskMetrics
 from repro.engine.policy import DefaultPolicy, ExecutorPolicy
 from repro.engine.shuffle import MapStatus
 from repro.engine.sizing import SizeInfo, estimate_partition
 from repro.engine.stage import Stage
-from repro.engine.task import Task, TaskFinished, PoolResized
+from repro.engine.task import (
+    PoolResized,
+    Task,
+    TaskAttempt,
+    TaskFailed,
+    TaskFailure,
+    TaskFinished,
+)
+from repro.simulation.core import Interrupt
 
 
 def _round_robin(lists: List[List[Tuple]]) -> List[Tuple]:
@@ -62,6 +70,11 @@ class Executor:
         self.pool_size = self.default_pool_size
         self.policy: ExecutorPolicy = DefaultPolicy()
         self.running = 0
+        #: Flipped to False when fault injection loses this executor.
+        self.alive = True
+        #: Live task processes keyed (stage_id, partition, attempt) so
+        #: individual attempts can be killed (executor loss, speculation).
+        self._procs: Dict[Tuple[int, int, int], object] = {}
         # MAPE-K sensor counters (monotonically increasing; the monitor
         # diffs snapshots per interval).
         self.io_wait_accum = 0.0
@@ -121,15 +134,94 @@ class Executor:
 
     # -- task execution ------------------------------------------------------------
 
-    def launch_task(self, task: Task) -> None:
-        """Driver -> executor: run one task (arrives via the control channel)."""
+    def launch_task(self, message) -> None:
+        """Driver -> executor: run one task (arrives via the control channel).
+
+        Accepts a bare :class:`Task` (implicitly attempt 0) or a
+        :class:`TaskAttempt` carrying a retry/speculative attempt id.
+        """
+        if isinstance(message, Task):
+            message = TaskAttempt(message)
+        task = message.task
+        attempt = message.attempt
+        key = (task.stage.stage_id, task.partition, attempt)
         self.running += 1
-        self.ctx.sim.process(
-            self._run_task(task),
-            name=f"task-{task.stage.stage_id}.{task.partition}@ex{self.executor_id}",
+        # Attempt 0 keeps the historical process name so fault-free traces
+        # stay bit-identical; retries and duplicates are suffixed.
+        suffix = f".{attempt}" if attempt else ""
+        self._procs[key] = self.ctx.sim.process(
+            self._run_task(task, attempt, message.speculative),
+            name=f"task-{task.stage.stage_id}.{task.partition}{suffix}"
+                 f"@ex{self.executor_id}",
         )
 
-    def _run_task(self, task: Task):
+    def kill_task(self, stage_id: int, partition: int, attempt: int,
+                  reason: str = "killed") -> bool:
+        """Interrupt one live attempt; returns False if it already finished."""
+        key = (stage_id, partition, attempt)
+        proc = self._procs.get(key)
+        if proc is None or not proc.is_alive:
+            return False
+        self._cleanup(key)
+        self.notify_fault(reason)
+        proc.interrupt(reason)
+        return True
+
+    def kill_all(self, reason: str) -> int:
+        """Interrupt every live attempt (executor/node loss)."""
+        killed = 0
+        for key in list(self._procs):
+            if self.kill_task(*key, reason=reason):
+                killed += 1
+        return killed
+
+    def notify_fault(self, reason: str) -> None:
+        """A fault touched this executor: let the policy react.
+
+        The adaptive policy discards the MAPE-K interval in progress -- a
+        killed or crashed task's partial I/O wait has already leaked into the
+        sensor counters and would corrupt the next ζ reading.
+        """
+        if not self.alive:
+            return
+        self.policy.on_fault(self, reason)
+
+    def _cleanup(self, key) -> bool:
+        """Retire one attempt's bookkeeping exactly once."""
+        if self._procs.pop(key, None) is None:
+            return False
+        self.running -= 1
+        return True
+
+    def _run_task(self, task: Task, attempt: int = 0, speculative: bool = False):
+        key = (task.stage.stage_id, task.partition, attempt)
+        try:
+            yield from self._task_body(task, attempt, speculative, key)
+        except Interrupt:
+            # Killed from outside (executor loss, speculation twin lost,
+            # recovery): kill_task already retired the bookkeeping.
+            self._cleanup(key)
+        except TaskFailure as failure:
+            self._cleanup(key)
+            self.notify_fault(failure.reason)
+            tracer = self.ctx.tracer
+            if tracer.enabled:
+                tracer.instant(
+                    "fault", "task-crash",
+                    executor_id=self.executor_id,
+                    stage_id=task.stage.stage_id,
+                    partition=task.partition,
+                    attempt=attempt,
+                    reason=failure.reason,
+                )
+            self.ctx.metrics.counter("faults.task_crashes").inc()
+            if self.alive:
+                self.ctx.scheduler.channel.send(
+                    self.ctx.scheduler.handle_message,
+                    TaskFailed(self.executor_id, task, attempt, failure.reason),
+                )
+
+    def _task_body(self, task: Task, attempt: int, speculative: bool, key):
         sim = self.ctx.sim
         tracer = self.ctx.tracer
         plan = task.plan
@@ -137,17 +229,37 @@ class Executor:
         io_wait = 0.0
         task_span = -1
         if tracer.enabled:
+            extra = {}
+            if attempt:
+                extra["attempt"] = attempt
+            if speculative:
+                extra["speculative"] = True
             task_span = tracer.begin(
                 "task", f"task {task.stage.stage_id}.{task.partition}",
                 executor_id=self.executor_id,
                 stage_id=task.stage.stage_id,
                 partition=task.partition,
                 pool_size=self.pool_size,
+                **extra,
             )
         ops = self._build_ops(plan)
         chunks = self._chunk_ops(ops, plan.cpu_seconds,
                                  interleave_offset=task.partition)
+        faults = self.ctx.faults
+        crash_index = None
+        if faults is not None:
+            fraction = faults.crash_point(
+                task.stage.stage_id, task.partition, attempt
+            )
+            if fraction is not None:
+                crash_index = int(fraction * len(chunks))
+        completed_chunks = 0
         for kind, amount, src_node in chunks:
+            if crash_index is not None and completed_chunks >= crash_index:
+                if task_span >= 0:
+                    tracer.end(task_span, crashed=True)
+                raise TaskFailure("injected-crash")
+            completed_chunks += 1
             if kind == "cpu":
                 yield self.node.cpu.submit(amount, tag="task").event
             else:
@@ -166,6 +278,10 @@ class Executor:
                 self.io_bytes_accum += amount
                 if chunk_span >= 0:
                     tracer.end(chunk_span, wait=wait)
+        if crash_index is not None and crash_index >= len(chunks):
+            if task_span >= 0:
+                tracer.end(task_span, crashed=True)
+            raise TaskFailure("injected-crash")
         metrics = TaskMetrics(
             stage_id=task.stage.stage_id,
             partition=task.partition,
@@ -183,7 +299,7 @@ class Executor:
             pool_size_at_launch=self.pool_size,
         )
         map_status, result = self._finalize_task(task)
-        self.running -= 1
+        self._cleanup(key)
         self.tasks_completed_total += 1
         self.stage_tasks_completed += 1
         if self._record is not None:
@@ -204,18 +320,30 @@ class Executor:
             )
         self.ctx.scheduler.channel.send(
             self.ctx.scheduler.handle_message,
-            TaskFinished(self.executor_id, task, metrics, map_status, result),
+            TaskFinished(self.executor_id, task, metrics, map_status, result,
+                         attempt=attempt, speculative=speculative),
         )
 
     # -- physical plan --------------------------------------------------------------
 
     def _build_ops(self, plan) -> List[_IoOp]:
         ops: List[_IoOp] = []
+        cluster = self.ctx.cluster
         for read in plan.dfs_reads:
-            if not read.preferred_nodes or self.node.node_id in read.preferred_nodes:
+            preferred = read.preferred_nodes
+            if preferred and self.ctx.faults is not None:
+                # Replica failover: a plan built before a node died may still
+                # name it; re-read from any surviving replica holder instead.
+                alive = tuple(
+                    n for n in preferred if cluster.node(n).alive
+                )
+                if not alive:
+                    raise TaskFailure("input-data-lost")
+                preferred = alive
+            if not preferred or self.node.node_id in preferred:
                 ops.append(_IoOp("dfs_read", read.size))
             else:
-                ops.append(_IoOp("dfs_read", read.size, src_node=read.preferred_nodes[0]))
+                ops.append(_IoOp("dfs_read", read.size, src_node=preferred[0]))
         for src_node, size in plan.shuffle_fetches:
             ops.append(_IoOp("shuffle_fetch", size, src_node=src_node))
         if plan.shuffle_write_bytes > 0:

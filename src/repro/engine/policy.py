@@ -30,6 +30,13 @@ class ExecutorPolicy:
         """Optionally return a new pool size after a task completes."""
         return None
 
+    def on_fault(self, executor, reason: str) -> None:
+        """A fault (kill, crash) touched this executor; react if needed.
+
+        The base policies ignore faults; the adaptive policy discards its
+        contaminated monitoring interval (see ``AdaptivePolicy.on_fault``).
+        """
+
 
 class DefaultPolicy(ExecutorPolicy):
     """Stock Spark behaviour: one thread per virtual core, never adjusted."""

@@ -190,8 +190,53 @@ class MapOutputTracker:
                 expected=state.num_maps,
             )
 
+    def discard_node_outputs(self, node_id: int) -> Dict[int, List[int]]:
+        """Forget every map output stored on ``node_id`` (executor loss).
+
+        Mirrors Spark's ``MapOutputTracker`` unregistering a dead block
+        manager's outputs: the affected shuffles become incomplete again and
+        the scheduler must recompute the lost map tasks through lineage.
+        Returns ``{shuffle_id: [lost map ids]}`` for the shuffles touched.
+        """
+        lost: Dict[int, List[int]] = {}
+        for shuffle_id, state in self._shuffles.items():
+            dead = sorted(
+                map_id for map_id, status in state.statuses.items()
+                if status.node_id == node_id
+            )
+            if not dead:
+                continue
+            lost[shuffle_id] = dead
+            for map_id in dead:
+                del state.statuses[map_id]
+            # Rebuild the incremental aggregates from the survivors; they
+            # have no subtraction path and float drift would accumulate.
+            fresh = _ShuffleState(state.num_maps, state.num_reducers)
+            for status in state.statuses.values():
+                fresh.accumulate(status)
+            state.reducer_records = fresh.reducer_records
+            state.reducer_bytes = fresh.reducer_bytes
+            state.node_reducer_bytes = fresh.node_reducer_bytes
+            state.uniform_records = fresh.uniform_records
+            state.uniform_bytes = fresh.uniform_bytes
+            state.node_uniform_bytes = fresh.node_uniform_bytes
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                tracer.instant(
+                    "fault", "shuffle-outputs-lost",
+                    shuffle_id=shuffle_id,
+                    node_id=node_id,
+                    lost_maps=len(dead),
+                )
+        return lost
+
     def is_complete(self, shuffle_id: int) -> bool:
         return self._state(shuffle_id).complete
+
+    def missing_map_ids(self, shuffle_id: int) -> List[int]:
+        """Map ids with no registered output (lost or never computed)."""
+        state = self._state(shuffle_id)
+        return [m for m in range(state.num_maps) if m not in state.statuses]
 
     def has_shuffle(self, shuffle_id: int) -> bool:
         return shuffle_id in self._shuffles

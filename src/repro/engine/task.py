@@ -32,6 +32,32 @@ class Task:
         return f"Task(stage={self.stage.stage_id}, partition={self.partition})"
 
 
+class TaskFailure(Exception):
+    """Raised inside a task body when the attempt cannot complete.
+
+    Carries a short machine-readable ``reason`` (``injected-crash``,
+    ``input-data-lost``, ...) that travels to the driver in a
+    :class:`TaskFailed` message and into the event log.
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass
+class TaskAttempt:
+    """Driver -> executor: run one attempt of a task.
+
+    ``attempt`` distinguishes retries and speculative duplicates of the same
+    partition; fault-free runs only ever see attempt 0.
+    """
+
+    task: Task
+    attempt: int = 0
+    speculative: bool = False
+
+
 @dataclass
 class TaskFinished:
     """Executor -> driver: a task completed (Spark's StatusUpdate)."""
@@ -41,6 +67,18 @@ class TaskFinished:
     metrics: TaskMetrics
     map_status: Optional[MapStatus] = None
     result: Any = None
+    attempt: int = 0
+    speculative: bool = False
+
+
+@dataclass
+class TaskFailed:
+    """Executor -> driver: an attempt crashed and needs rescheduling."""
+
+    executor_id: int
+    task: Task
+    attempt: int
+    reason: str
 
 
 @dataclass

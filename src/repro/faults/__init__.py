@@ -1,0 +1,45 @@
+"""Seeded, deterministic fault injection for the simulated cluster.
+
+``repro.faults`` turns the simulator into a chaos-testing harness: a
+:class:`FaultPlan` declares *what goes wrong and when* (task crashes,
+executor/node loss, disk-degradation episodes, stragglers), and the
+:class:`FaultInjector` replays it against a :class:`~repro.engine.context.
+SparkContext`.  Recovery -- retries, lineage recomputation, replica
+failover, speculative execution -- lives in the engine; FAULTS.md documents
+the full failure model.
+
+Everything is deterministic: the same seed and plan produce bit-identical
+timelines, and a context built *without* a plan is untouched (no extra
+events, no extra trace output).
+"""
+
+from repro.faults.injector import FaultInjector, hash01
+from repro.faults.plan import (
+    CANNED_PLANS,
+    PLAN_SCHEMA,
+    DiskDegrade,
+    ExecutorLoss,
+    FaultPlan,
+    FaultPlanError,
+    NodeLoss,
+    SpeculationConfig,
+    Straggler,
+    TaskCrash,
+    TaskCrashRate,
+)
+
+__all__ = [
+    "CANNED_PLANS",
+    "PLAN_SCHEMA",
+    "DiskDegrade",
+    "ExecutorLoss",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "NodeLoss",
+    "SpeculationConfig",
+    "Straggler",
+    "TaskCrash",
+    "TaskCrashRate",
+    "hash01",
+]

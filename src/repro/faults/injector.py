@@ -1,0 +1,194 @@
+"""Replays a :class:`~repro.faults.plan.FaultPlan` against a context.
+
+The injector is the only bridge between the declarative plan and the
+engine: timed faults (executor/node loss, disk episodes, stragglers) are
+scheduled on the simulator clock when :meth:`FaultInjector.wire` runs, and
+task crashes are answered point-wise through :meth:`crash_point`, which the
+executor consults once per launched attempt.
+
+Determinism rules:
+
+* crash decisions hash ``(seed, stage ordinal, partition, attempt)`` --
+  they never consume a shared RNG stream, so injecting a fault cannot
+  perturb the workload's own random draws;
+* timed faults use :meth:`Simulator.call_at`, which keeps the event
+  queue's insertion-order tie-breaking;
+* a context built without a plan never reaches this module.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional, Tuple
+
+from repro.faults.plan import FaultPlan
+
+
+def hash01(*parts) -> float:
+    """Deterministically map arbitrary parts to a float in [0, 1)."""
+    token = "\x1f".join(str(part) for part in parts)
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+class FaultInjector:
+    """Applies one fault plan to one :class:`SparkContext`."""
+
+    def __init__(self, ctx, plan: FaultPlan) -> None:
+        plan.validate()
+        self.ctx = ctx
+        self.plan = plan
+        #: stage_id -> ordinal position in the run (first-seen order), the
+        #: coordinate system plans use to address stages.
+        self._ordinals: Dict[int, int] = {}
+        self._crashes: Dict[Tuple[int, int, int], float] = {
+            (crash.stage_ordinal, crash.partition, crash.attempt): crash.at_fraction
+            for crash in plan.task_crashes
+        }
+        self._crash_budget = (
+            plan.crash_rate.max_crashes if plan.crash_rate is not None else 0
+        )
+
+    # -- setup -------------------------------------------------------------------
+
+    def wire(self) -> None:
+        """Apply conf overrides and schedule every timed fault."""
+        spec = self.plan.speculation
+        if spec is not None:
+            conf = self.ctx.conf
+            conf.set("spark.speculation", spec.enabled)
+            conf.set("spark.speculation.multiplier", spec.multiplier)
+            conf.set("spark.speculation.quantile", spec.quantile)
+        sim = self.ctx.sim
+        for loss in self.plan.executor_losses:
+            sim.call_at(
+                loss.at,
+                lambda loss=loss: self._lose_executor(
+                    loss.executor_id, "executor-loss"
+                ),
+            )
+        for loss in self.plan.node_losses:
+            sim.call_at(loss.at, lambda loss=loss: self._lose_node(loss.node_id))
+        for episode in self.plan.disk_degradations:
+            sim.call_at(
+                episode.at, lambda episode=episode: self._scale_node(
+                    episode.node_id, "disk-degrade-start",
+                    disk_factor=episode.factor,
+                )
+            )
+            sim.call_at(
+                episode.at + episode.duration,
+                lambda episode=episode: self._scale_node(
+                    episode.node_id, "disk-degrade-end",
+                    disk_factor=1.0 / episode.factor,
+                ),
+            )
+        for straggler in self.plan.stragglers:
+            sim.call_at(
+                straggler.at, lambda straggler=straggler: self._scale_node(
+                    straggler.node_id, "straggler-start",
+                    cpu_factor=straggler.cpu_factor,
+                    disk_factor=straggler.disk_factor,
+                )
+            )
+            sim.call_at(
+                straggler.at + straggler.duration,
+                lambda straggler=straggler: self._scale_node(
+                    straggler.node_id, "straggler-end",
+                    cpu_factor=1.0 / straggler.cpu_factor,
+                    disk_factor=1.0 / straggler.disk_factor,
+                ),
+            )
+
+    # -- scheduler hooks -----------------------------------------------------------
+
+    def on_stage_start(self, stage) -> None:
+        """Assign the stage its plan-addressable ordinal (first-seen order)."""
+        if stage.stage_id not in self._ordinals:
+            self._ordinals[stage.stage_id] = len(self._ordinals)
+
+    def crash_point(self, stage_id: int, partition: int,
+                    attempt: int) -> Optional[float]:
+        """Should this attempt crash?  Returns the chunk fraction, or None.
+
+        Consulted exactly once per launched attempt.  Explicit
+        :class:`TaskCrash` entries win; otherwise the seeded rate decides.
+        """
+        ordinal = self._ordinals.get(stage_id)
+        if ordinal is None:
+            return None
+        explicit = self._crashes.get((ordinal, partition, attempt))
+        if explicit is not None:
+            return explicit
+        rate = self.plan.crash_rate
+        if rate is None or self._crash_budget <= 0:
+            return None
+        roll = hash01(self.plan.seed, "crash", ordinal, partition, attempt)
+        if roll >= rate.probability:
+            return None
+        self._crash_budget -= 1
+        return hash01(self.plan.seed, "crash-frac", ordinal, partition, attempt)
+
+    # -- timed fault appliers ---------------------------------------------------------
+
+    def _lose_executor(self, executor_id: int, reason: str) -> None:
+        executors = self.ctx.executors
+        if not 0 <= executor_id < len(executors):
+            raise ValueError(
+                f"fault plan names executor {executor_id}, cluster has "
+                f"{len(executors)}"
+            )
+        executor = executors[executor_id]
+        if not executor.alive:
+            return
+        self.ctx.scheduler.on_executor_lost(executor, reason=reason)
+
+    def _lose_node(self, node_id: int) -> None:
+        node = self.ctx.cluster.node(node_id)
+        if not node.alive:
+            return
+        node.alive = False
+        tracer = self.ctx.tracer
+        if tracer.enabled:
+            tracer.instant("fault", "node-loss", node_id=node_id)
+        self.ctx.metrics.counter("faults.node_losses").inc()
+        # DFS replicas on the machine vanish first so relaunched tasks plan
+        # their reads against the surviving replica set.
+        lost_paths = self.ctx.dfs.fail_node(node_id)
+        if lost_paths and tracer.enabled:
+            tracer.instant(
+                "fault", "dfs-data-lost",
+                node_id=node_id, paths=sorted(lost_paths),
+            )
+        for executor in self.ctx.executors:
+            if executor.node.node_id == node_id and executor.alive:
+                self.ctx.scheduler.on_executor_lost(executor, reason="node-loss")
+
+    def _scale_node(self, node_id: int, name: str,
+                    cpu_factor: Optional[float] = None,
+                    disk_factor: Optional[float] = None) -> None:
+        """Multiply a node's resource speeds; episodes compose and reverse
+        themselves by applying the reciprocal at their end time."""
+        node = self.ctx.cluster.node(node_id)
+        if not node.alive:
+            return
+        # sync() first: work done so far must be settled at the old rate
+        # before the multiplier changes what one second buys.
+        if cpu_factor is not None:
+            node.cpu.sync()
+            node.cpu.speed_factor *= cpu_factor
+            node.cpu.notify_rates_changed()
+        if disk_factor is not None:
+            node.disk.sync()
+            node.disk.speed_factor *= disk_factor
+            node.disk.notify_rates_changed()
+        tracer = self.ctx.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "fault", name,
+                node_id=node_id,
+                cpu_speed=node.cpu.speed_factor,
+                disk_speed=node.disk.speed_factor,
+            )
+        if name.endswith("-start"):
+            self.ctx.metrics.counter(f"faults.{name[:-6]}s").inc()

@@ -1,0 +1,370 @@
+"""Declarative fault plans: what breaks, where, and when.
+
+A :class:`FaultPlan` is a plain dataclass tree with a stable JSON wire
+format (``repro.faults/1``) so plans can be checked into a repo, attached
+to a CI run, or generated from the CLI (``repro faults generate``).  Times
+are *simulated* seconds; stages are addressed by their ordinal position in
+the run (0, 1, ...) because stage ids are an implementation detail of the
+DAG builder.
+
+The plan only *describes* faults.  Interpreting it -- including the seeded
+pseudo-random crash sampling -- is :mod:`repro.faults.injector`'s job.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Wire-format marker checked on load; bump on incompatible change.
+PLAN_SCHEMA = "repro.faults/1"
+
+
+class FaultPlanError(ValueError):
+    """A fault plan failed validation or could not be parsed."""
+
+
+@dataclass
+class TaskCrash:
+    """Crash one specific task attempt partway through its run.
+
+    ``at_fraction`` is the fraction of the task's work chunks completed
+    before the crash fires (0.0 = immediately, 1.0 = after the last chunk
+    but before the completion message).
+    """
+
+    stage_ordinal: int
+    partition: int
+    attempt: int = 0
+    at_fraction: float = 0.5
+
+    def validate(self) -> None:
+        if self.stage_ordinal < 0:
+            raise FaultPlanError(f"stage_ordinal must be >= 0, got {self.stage_ordinal}")
+        if self.partition < 0:
+            raise FaultPlanError(f"partition must be >= 0, got {self.partition}")
+        if self.attempt < 0:
+            raise FaultPlanError(f"attempt must be >= 0, got {self.attempt}")
+        if not 0.0 <= self.at_fraction <= 1.0:
+            raise FaultPlanError(
+                f"at_fraction must be in [0, 1], got {self.at_fraction}"
+            )
+
+
+@dataclass
+class TaskCrashRate:
+    """Crash a seeded pseudo-random sample of task attempts.
+
+    Each attempt crashes with ``probability``, decided by hashing
+    ``(plan seed, stage ordinal, partition, attempt)`` -- not by drawing
+    from a shared RNG -- so one task's fate never depends on scheduling
+    order.  ``max_crashes`` caps the total so a high rate cannot push every
+    partition past ``spark.task.maxFailures``.
+    """
+
+    probability: float
+    max_crashes: int = 10
+
+    def validate(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise FaultPlanError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.max_crashes < 0:
+            raise FaultPlanError(f"max_crashes must be >= 0, got {self.max_crashes}")
+
+
+@dataclass
+class ExecutorLoss:
+    """Kill one executor process at an absolute simulated time.
+
+    Its running tasks die, its shuffle outputs are discarded (they lived on
+    its node's local disk), and it never comes back.  The node's DFS blocks
+    survive -- this models a JVM crash, not a machine failure.
+    """
+
+    executor_id: int
+    at: float
+
+    def validate(self) -> None:
+        if self.executor_id < 0:
+            raise FaultPlanError(f"executor_id must be >= 0, got {self.executor_id}")
+        if self.at < 0:
+            raise FaultPlanError(f"at must be >= 0, got {self.at}")
+
+
+@dataclass
+class NodeLoss:
+    """Lose a whole machine: its executor, its DFS replicas, its disks."""
+
+    node_id: int
+    at: float
+
+    def validate(self) -> None:
+        if self.node_id < 0:
+            raise FaultPlanError(f"node_id must be >= 0, got {self.node_id}")
+        if self.at < 0:
+            raise FaultPlanError(f"at must be >= 0, got {self.at}")
+
+
+@dataclass
+class DiskDegrade:
+    """Scale one node's disk rate curve by ``factor`` for ``duration``.
+
+    Models a flaky device or a noisy neighbour saturating the spindle.
+    Episodes compose multiplicatively when they overlap.
+    """
+
+    node_id: int
+    at: float
+    duration: float
+    factor: float = 0.25
+
+    def validate(self) -> None:
+        if self.node_id < 0:
+            raise FaultPlanError(f"node_id must be >= 0, got {self.node_id}")
+        if self.at < 0:
+            raise FaultPlanError(f"at must be >= 0, got {self.at}")
+        if self.duration <= 0:
+            raise FaultPlanError(f"duration must be > 0, got {self.duration}")
+        if self.factor <= 0:
+            raise FaultPlanError(f"factor must be > 0, got {self.factor}")
+
+
+@dataclass
+class Straggler:
+    """Slow a whole node down (CPU and disk) for a while.
+
+    The classic speculative-execution target: tasks on the node keep
+    running, just several times slower than their twins elsewhere.
+    """
+
+    node_id: int
+    at: float
+    duration: float
+    cpu_factor: float = 0.3
+    disk_factor: float = 0.3
+
+    def validate(self) -> None:
+        if self.node_id < 0:
+            raise FaultPlanError(f"node_id must be >= 0, got {self.node_id}")
+        if self.at < 0:
+            raise FaultPlanError(f"at must be >= 0, got {self.at}")
+        if self.duration <= 0:
+            raise FaultPlanError(f"duration must be > 0, got {self.duration}")
+        if self.cpu_factor <= 0 or self.disk_factor <= 0:
+            raise FaultPlanError(
+                f"straggler factors must be > 0, got cpu={self.cpu_factor} "
+                f"disk={self.disk_factor}"
+            )
+
+
+@dataclass
+class SpeculationConfig:
+    """Speculative-execution settings the plan wants for this run.
+
+    Applied as ``spark.speculation*`` overrides when the injector wires up,
+    so a plan is self-contained: loading it reproduces the whole scenario.
+    """
+
+    enabled: bool = False
+    multiplier: float = 2.0
+    quantile: float = 0.75
+
+    def validate(self) -> None:
+        if self.multiplier <= 1.0:
+            raise FaultPlanError(
+                f"speculation multiplier must be > 1, got {self.multiplier}"
+            )
+        if not 0.0 < self.quantile <= 1.0:
+            raise FaultPlanError(
+                f"speculation quantile must be in (0, 1], got {self.quantile}"
+            )
+
+
+@dataclass
+class FaultPlan:
+    """Everything that will go wrong in one run, plus the seed deciding it."""
+
+    seed: int = 0
+    task_crashes: List[TaskCrash] = field(default_factory=list)
+    crash_rate: Optional[TaskCrashRate] = None
+    executor_losses: List[ExecutorLoss] = field(default_factory=list)
+    node_losses: List[NodeLoss] = field(default_factory=list)
+    disk_degradations: List[DiskDegrade] = field(default_factory=list)
+    stragglers: List[Straggler] = field(default_factory=list)
+    speculation: Optional[SpeculationConfig] = None
+
+    def validate(self) -> None:
+        for fault in self.all_faults():
+            fault.validate()
+        if self.crash_rate is not None:
+            self.crash_rate.validate()
+        if self.speculation is not None:
+            self.speculation.validate()
+        seen_crashes = set()
+        for crash in self.task_crashes:
+            key = (crash.stage_ordinal, crash.partition, crash.attempt)
+            if key in seen_crashes:
+                raise FaultPlanError(
+                    f"duplicate task crash for stage {key[0]} partition "
+                    f"{key[1]} attempt {key[2]}"
+                )
+            seen_crashes.add(key)
+
+    def all_faults(self) -> List[Any]:
+        return (
+            list(self.task_crashes)
+            + list(self.executor_losses)
+            + list(self.node_losses)
+            + list(self.disk_degradations)
+            + list(self.stragglers)
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        return (
+            not self.all_faults()
+            and self.crash_rate is None
+            and self.speculation is None
+        )
+
+    # -- JSON wire format ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"schema": PLAN_SCHEMA, "seed": self.seed}
+        for key in ("task_crashes", "executor_losses", "node_losses",
+                    "disk_degradations", "stragglers"):
+            items = getattr(self, key)
+            if items:
+                payload[key] = [asdict(item) for item in items]
+        if self.crash_rate is not None:
+            payload["crash_rate"] = asdict(self.crash_rate)
+        if self.speculation is not None:
+            payload["speculation"] = asdict(self.speculation)
+        return payload
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultPlan":
+        if not isinstance(payload, dict):
+            raise FaultPlanError(f"fault plan must be an object, got {type(payload).__name__}")
+        schema = payload.get("schema")
+        if schema != PLAN_SCHEMA:
+            raise FaultPlanError(
+                f"unsupported fault-plan schema {schema!r} (expected {PLAN_SCHEMA!r})"
+            )
+        known = {
+            "schema", "seed", "task_crashes", "crash_rate", "executor_losses",
+            "node_losses", "disk_degradations", "stragglers", "speculation",
+        }
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise FaultPlanError(f"unknown fault-plan fields: {', '.join(unknown)}")
+
+        def build(ctor, items):
+            try:
+                return [ctor(**item) for item in items]
+            except TypeError as exc:
+                raise FaultPlanError(f"bad {ctor.__name__} entry: {exc}") from None
+
+        try:
+            plan = cls(
+                seed=int(payload.get("seed", 0)),
+                task_crashes=build(TaskCrash, payload.get("task_crashes", [])),
+                crash_rate=(
+                    TaskCrashRate(**payload["crash_rate"])
+                    if "crash_rate" in payload else None
+                ),
+                executor_losses=build(ExecutorLoss, payload.get("executor_losses", [])),
+                node_losses=build(NodeLoss, payload.get("node_losses", [])),
+                disk_degradations=build(DiskDegrade, payload.get("disk_degradations", [])),
+                stragglers=build(Straggler, payload.get("stragglers", [])),
+                speculation=(
+                    SpeculationConfig(**payload["speculation"])
+                    if "speculation" in payload else None
+                ),
+            )
+        except TypeError as exc:
+            raise FaultPlanError(f"malformed fault plan: {exc}") from None
+        plan.validate()
+        return plan
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"fault plan is not valid JSON: {exc}") from None
+        return cls.from_dict(payload)
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+
+# -- canned plans (CLI ``repro faults generate``) ------------------------------------
+
+
+def node_loss_plan(node_id: int = 1, at: float = 30.0, seed: int = 0) -> FaultPlan:
+    """Lose one machine mid-run: the canonical recovery scenario."""
+    return FaultPlan(seed=seed, node_losses=[NodeLoss(node_id=node_id, at=at)])
+
+
+def executor_loss_plan(executor_id: int = 1, at: float = 30.0,
+                       seed: int = 0) -> FaultPlan:
+    """Kill one executor JVM; its node (and DFS replicas) survive."""
+    return FaultPlan(
+        seed=seed, executor_losses=[ExecutorLoss(executor_id=executor_id, at=at)]
+    )
+
+
+def task_crash_plan(probability: float = 0.05, max_crashes: int = 10,
+                    seed: int = 0) -> FaultPlan:
+    """Random task crashes at a given rate, retried transparently."""
+    return FaultPlan(
+        seed=seed,
+        crash_rate=TaskCrashRate(probability=probability, max_crashes=max_crashes),
+    )
+
+
+def disk_degrade_plan(node_id: int = 1, at: float = 10.0, duration: float = 60.0,
+                      factor: float = 0.25, seed: int = 0) -> FaultPlan:
+    """One node's disk runs at ``factor`` of its rate curve for a while."""
+    return FaultPlan(
+        seed=seed,
+        disk_degradations=[
+            DiskDegrade(node_id=node_id, at=at, duration=duration, factor=factor)
+        ],
+    )
+
+
+def straggler_plan(node_id: int = 1, at: float = 10.0, duration: float = 120.0,
+                   factor: float = 0.3, seed: int = 0,
+                   speculation: bool = True) -> FaultPlan:
+    """A slow node plus (by default) speculation to route around it."""
+    return FaultPlan(
+        seed=seed,
+        stragglers=[
+            Straggler(node_id=node_id, at=at, duration=duration,
+                      cpu_factor=factor, disk_factor=factor)
+        ],
+        speculation=SpeculationConfig(enabled=speculation) if speculation else None,
+    )
+
+
+CANNED_PLANS = {
+    "node-loss": node_loss_plan,
+    "executor-loss": executor_loss_plan,
+    "task-crashes": task_crash_plan,
+    "disk-degrade": disk_degrade_plan,
+    "stragglers": straggler_plan,
+}

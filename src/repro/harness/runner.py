@@ -84,6 +84,7 @@ def build_context(
     cluster: Optional[Cluster] = None,
     conf_overrides: Optional[Dict[str, Any]] = None,
     tracer: Optional[Tracer] = None,
+    fault_plan=None,
     **cluster_kwargs: Any,
 ) -> SparkContext:
     if cluster is None:
@@ -96,6 +97,7 @@ def build_context(
         conf=conf,
         policy_factory=make_policy_factory(policy),
         tracer=tracer,
+        fault_plan=fault_plan,
     )
 
 
@@ -105,19 +107,22 @@ def run_workload(
     conf_overrides: Optional[Dict[str, Any]] = None,
     workload_kwargs: Optional[Dict[str, Any]] = None,
     tracer: Optional[Tracer] = None,
+    fault_plan=None,
     **cluster_kwargs: Any,
 ) -> WorkloadRun:
     """One fresh context, one workload run.
 
     A ``tracer`` (if given) is wired through the whole stack; the caller
-    keeps ownership and decides when to :meth:`~Tracer.close` it.
+    keeps ownership and decides when to :meth:`~Tracer.close` it.  A
+    ``fault_plan`` (:class:`repro.faults.FaultPlan`) turns the run into a
+    chaos experiment; see FAULTS.md.
     """
     if isinstance(workload, str):
         workload = get_workload(workload, **(workload_kwargs or {}))
     elif workload_kwargs:
         raise ValueError("workload_kwargs only apply when passing a name")
     ctx = build_context(policy=policy, conf_overrides=conf_overrides,
-                        tracer=tracer, **cluster_kwargs)
+                        tracer=tracer, fault_plan=fault_plan, **cluster_kwargs)
     return workload.run(ctx)
 
 
@@ -178,9 +183,14 @@ def derive_bestfit(sweep: Dict[int, WorkloadRun],
             continue
         best_threads = default_threads
         best_duration = float("inf")
-        for threads, run in sweep.items():
+        # Deterministic tie-break: iterate in thread order and prefer the
+        # smaller pool on equal duration, instead of whichever entry the
+        # caller happened to insert into ``sweep`` first.
+        for threads, run in sorted(sweep.items()):
             duration = run.stages[ordinal].duration
-            if duration < best_duration:
+            if duration < best_duration or (
+                duration == best_duration and threads < best_threads
+            ):
                 best_duration = duration
                 best_threads = threads
         sizes[ordinal] = best_threads

@@ -12,11 +12,26 @@ ties in the event queue are broken by insertion order.
 from __future__ import annotations
 
 import heapq
+import inspect
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 
 class SimulationError(RuntimeError):
     """Raised for misuse of the kernel (e.g. yielding a non-event)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    ``cause`` carries the interruptor's payload (e.g. a fault-injection
+    reason).  A process that wants to survive an interrupt catches this at
+    its current ``yield`` and decides what to do; an uncaught interrupt
+    fails the process like any other exception.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
 
 
 class Event:
@@ -145,12 +160,65 @@ class Process(Event):
         bootstrap._triggered = True
         bootstrap.add_callback(self._resume)
         sim._schedule(bootstrap, delay=0.0)
+        self._waiting_on = bootstrap
 
     @property
     def is_alive(self) -> bool:
         return not self._triggered
 
+    def interrupt(self, cause: Any = None) -> bool:
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        The process is detached from whatever event it was waiting on (the
+        event itself still fires for its other waiters) and resumed on the
+        next loop iteration with the exception.  Interrupting a process that
+        already terminated is a no-op; interrupting one whose generator has
+        not started yet cancels it silently (the body never ran, so there is
+        nothing to unwind).  Returns True when the interrupt was delivered
+        or the process was cancelled.
+        """
+        if self._triggered:
+            return False
+        target = self._waiting_on
+        if (
+            target is not None
+            and target._triggered
+            and not target._ok
+            and isinstance(target._value, Interrupt)
+        ):
+            # An interrupt is already in flight; delivering a second one
+            # would leave the first as an unwaited failure.
+            return True
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        if inspect.getgeneratorstate(self.generator) == inspect.GEN_CREATED:
+            # Never started: cancel without running the body.
+            self.generator.close()
+            self._waiting_on = None
+            self._value = None
+            self._ok = True
+            self._triggered = True
+            if self._trace_span >= 0:
+                self.sim.tracer.end(self._trace_span, cancelled=True)
+            self.sim._schedule(self, delay=0.0)
+            return True
+        kick = Event(self.sim)
+        kick._value = Interrupt(cause)
+        kick._ok = False
+        kick._triggered = True
+        kick.add_callback(self._resume)
+        self.sim._schedule(kick, delay=0.0)
+        self._waiting_on = kick
+        return True
+
     def _resume(self, event: Event) -> None:
+        if event is not self._waiting_on:
+            # Stale wake-up: the process was detached from this event by an
+            # interrupt (or already resumed through a replay stub).
+            return
         self._waiting_on = None
         try:
             if event.ok:
@@ -307,6 +375,18 @@ class Simulator:
             # A failed event nobody waited on would silently swallow the
             # error; surface it instead ("errors should never pass silently").
             raise event.value
+
+    def run_until(self, event: "Event") -> None:
+        """Run until ``event`` triggers (or the queue drains).
+
+        Unlike :meth:`run`, pending events beyond the trigger point stay in
+        the queue for a later ``run``/``run_until`` call.  The fault
+        injector relies on this: a node-loss timer scheduled for the middle
+        of the next job must not be drained -- advancing the clock past it
+        -- while the simulator idles between jobs.
+        """
+        while not event.triggered and self._queue:
+            self.step()
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue drains or simulated time passes ``until``."""

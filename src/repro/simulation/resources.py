@@ -147,6 +147,20 @@ class FairShareResource:
         """
         self._advance()
 
+    def notify_rates_changed(self) -> None:
+        """Re-plan in-flight jobs after an external rate change.
+
+        The completion horizon is normally recomputed only when the active
+        set changes; callers that mutate the rate function itself (e.g. a
+        fault-injection episode scaling a device's ``speed_factor``) must
+        call this so the next wake-up reflects the new rates.  Call
+        :meth:`sync` *before* mutating -- ``_advance`` prices the elapsed
+        interval at the current rate function, so mutating first would
+        retroactively apply the new rate to work already performed.
+        """
+        self._advance()
+        self._reschedule()
+
     def utilization_between(self, busy_before: float, elapsed: float) -> float:
         """Helper for samplers: busy fraction given a previous busy_time."""
         if elapsed <= 0:

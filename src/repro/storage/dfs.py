@@ -123,6 +123,40 @@ class DistributedFileSystem:
         self._placement_cursor = cursor % len(nodes)
         return tuple(order)
 
+    def fail_node(self, node_id: int) -> List[str]:
+        """Drop a dead node from placement and every block's replica set.
+
+        Mirrors the NameNode declaring a DataNode dead: its replicas vanish
+        and future placements avoid it.  The replication factor is clamped to
+        the surviving population.  Returns the paths that lost their last
+        replica of some block (unreadable until rewritten); with the paper's
+        replication-equals-cluster-size default this list is empty.
+        """
+        if node_id not in self.node_ids:
+            return []
+        self.node_ids = [n for n in self.node_ids if n != node_id]
+        if self.node_ids:
+            self._placement_cursor %= len(self.node_ids)
+            self.replication = min(self.replication, len(self.node_ids))
+        lost: List[str] = []
+        for path, dfs_file in self._files.items():
+            rebuilt: List[BlockLocation] = []
+            changed = False
+            for block in dfs_file.blocks:
+                if node_id in block.replicas:
+                    block = BlockLocation(
+                        index=block.index,
+                        size=block.size,
+                        replicas=tuple(n for n in block.replicas if n != node_id),
+                    )
+                    changed = True
+                    if not block.replicas and block.size > 0 and path not in lost:
+                        lost.append(path)
+                rebuilt.append(block)
+            if changed:
+                dfs_file.blocks = rebuilt
+        return lost
+
     def delete(self, path: str) -> None:
         if path not in self._files:
             raise FileNotFoundError(path)
@@ -162,6 +196,10 @@ class DistributedFileSystem:
                 block_start = block.index * self.block_size
                 block_end = block_start + block.size
                 if block_end > start and block_start < end:
+                    if not block.replicas and block.size > 0:
+                        raise FileNotFoundError(
+                            f"{path}: block {block.index} lost all replicas"
+                        )
                     for node in block.replicas:
                         if node not in preferred:
                             preferred.append(node)

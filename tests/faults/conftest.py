@@ -1,0 +1,51 @@
+"""Shared helpers for fault-injection tests.
+
+Fault experiments compare against an *empty-plan* baseline, not a no-plan
+run: a context with any plan (even an empty one) stops the simulator at
+job completion instead of draining the queue between jobs, which shifts
+the timeline.  See FAULTS.md.
+"""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, NodeSpec
+from repro.engine import SparkConf, SparkContext
+from repro.faults import FaultPlan
+from repro.workloads import Terasort
+
+
+def make_fault_context(plan, num_nodes=2, cores=4, conf=None, tracer=None,
+                       seed=42):
+    spec = ClusterSpec(
+        num_nodes=num_nodes,
+        node=NodeSpec(cores=cores),
+        disk_sigma=0.0,
+        cpu_sigma=0.0,
+        seed=seed,
+    )
+    return SparkContext(
+        Cluster(spec),
+        conf=conf if conf is not None else SparkConf(),
+        tracer=tracer,
+        fault_plan=plan,
+    )
+
+
+def run_small_terasort(plan, num_records=200, tracer=None, conf=None):
+    """Materialised terasort under ``plan``; returns (ctx, workload)."""
+    ctx = make_fault_context(plan, conf=conf, tracer=tracer)
+    workload = Terasort(num_partitions=4)
+    workload.prepare_small(ctx, num_records=num_records)
+    workload.execute(ctx)
+    return ctx, workload
+
+
+def sorted_output_keys(ctx, workload):
+    output = ctx.datasets.describe(workload.output_path)
+    assert output.records_available
+    return [k for k, _v in output.data]
+
+
+@pytest.fixture
+def empty_plan():
+    return FaultPlan()

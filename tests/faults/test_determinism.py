@@ -1,0 +1,40 @@
+"""Determinism guarantees: same plan + seed => bit-identical event logs."""
+
+import io
+
+from repro.faults import ExecutorLoss, FaultPlan, TaskCrashRate
+from repro.observability.sinks import JsonLinesSink
+from repro.observability.tracer import Tracer
+from tests.faults.conftest import run_small_terasort
+
+
+def traced_log(plan) -> str:
+    stream = io.StringIO()
+    run_small_terasort(plan, tracer=Tracer(sinks=[JsonLinesSink(stream)]))
+    return stream.getvalue()
+
+
+def make_chaos_plan() -> FaultPlan:
+    return FaultPlan(
+        seed=11,
+        crash_rate=TaskCrashRate(probability=0.2, max_crashes=4),
+        executor_losses=[ExecutorLoss(executor_id=1, at=0.15)],
+    )
+
+
+class TestIdenticalLogs:
+    def test_same_plan_and_seed_give_identical_logs(self):
+        assert traced_log(make_chaos_plan()) == traced_log(make_chaos_plan())
+
+    def test_empty_plan_runs_are_identical(self):
+        assert traced_log(FaultPlan()) == traced_log(FaultPlan())
+
+    def test_plan_seed_changes_the_timeline(self):
+        """Different crash seeds crash different attempts."""
+        a = make_chaos_plan()
+        b = make_chaos_plan()
+        b.seed = 12
+        assert traced_log(a) != traced_log(b)
+
+    def test_faults_actually_perturb_the_run(self):
+        assert traced_log(make_chaos_plan()) != traced_log(FaultPlan())

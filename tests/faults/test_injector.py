@@ -1,0 +1,121 @@
+"""FaultInjector: seeded crash decisions, ordinals, wiring."""
+
+import pytest
+
+from repro.engine import SparkConf
+from repro.faults import (
+    FaultPlan,
+    SpeculationConfig,
+    TaskCrash,
+    TaskCrashRate,
+    hash01,
+)
+from tests.faults.conftest import make_fault_context
+
+
+class TestHash01:
+    def test_deterministic(self):
+        assert hash01(7, "crash", 0, 3, 1) == hash01(7, "crash", 0, 3, 1)
+
+    def test_in_unit_interval(self):
+        for i in range(100):
+            assert 0.0 <= hash01("x", i) < 1.0
+
+    def test_sensitive_to_every_part(self):
+        base = hash01(1, "crash", 0, 0, 0)
+        assert hash01(2, "crash", 0, 0, 0) != base
+        assert hash01(1, "crash", 1, 0, 0) != base
+        assert hash01(1, "crash", 0, 1, 0) != base
+        assert hash01(1, "crash", 0, 0, 1) != base
+
+
+class TestCrashPoint:
+    def test_explicit_crash_wins(self):
+        plan = FaultPlan(task_crashes=[
+            TaskCrash(stage_ordinal=0, partition=3, attempt=0, at_fraction=0.25)
+        ])
+        ctx = make_fault_context(plan)
+        injector = ctx.faults
+
+        class FakeStage:
+            stage_id = 17
+
+        injector.on_stage_start(FakeStage)
+        assert injector.crash_point(17, 3, 0) == 0.25
+        assert injector.crash_point(17, 3, 1) is None  # retry survives
+        assert injector.crash_point(17, 2, 0) is None
+
+    def test_unknown_stage_never_crashes(self):
+        plan = FaultPlan(crash_rate=TaskCrashRate(probability=1.0))
+        ctx = make_fault_context(plan)
+        assert ctx.faults.crash_point(999, 0, 0) is None
+
+    def test_rate_respects_budget(self):
+        plan = FaultPlan(crash_rate=TaskCrashRate(probability=1.0,
+                                                  max_crashes=3))
+        ctx = make_fault_context(plan)
+        injector = ctx.faults
+
+        class FakeStage:
+            stage_id = 0
+
+        injector.on_stage_start(FakeStage)
+        crashed = [injector.crash_point(0, p, 0) for p in range(10)]
+        assert sum(1 for c in crashed if c is not None) == 3
+        # The first three consulted attempts used up the budget.
+        assert all(c is not None for c in crashed[:3])
+        assert all(0.0 <= c < 1.0 for c in crashed[:3])
+
+    def test_rate_decisions_independent_of_consult_order(self):
+        plan = FaultPlan(seed=5,
+                         crash_rate=TaskCrashRate(probability=0.5,
+                                                  max_crashes=100))
+
+        class FakeStage:
+            stage_id = 0
+
+        def decisions(order):
+            ctx = make_fault_context(plan)
+            ctx.faults.on_stage_start(FakeStage)
+            return {p: ctx.faults.crash_point(0, p, 0) is not None
+                    for p in order}
+
+        forward = decisions(range(8))
+        backward = decisions(reversed(range(8)))
+        assert forward == backward
+
+
+class TestOrdinals:
+    def test_first_seen_order(self):
+        ctx = make_fault_context(FaultPlan())
+
+        class S:
+            def __init__(self, stage_id):
+                self.stage_id = stage_id
+
+        for stage_id in (40, 12, 40, 7):
+            ctx.faults.on_stage_start(S(stage_id))
+        assert ctx.faults._ordinals == {40: 0, 12: 1, 7: 2}
+
+
+class TestWiring:
+    def test_speculation_overrides_conf(self):
+        plan = FaultPlan(speculation=SpeculationConfig(
+            enabled=True, multiplier=1.5, quantile=0.5))
+        ctx = make_fault_context(plan, conf=SparkConf())
+        assert ctx.conf.get("spark.speculation") is True
+        assert ctx.conf.get("spark.speculation.multiplier") == 1.5
+        assert ctx.conf.get("spark.speculation.quantile") == 0.5
+
+    def test_no_plan_means_no_injector(self):
+        from tests.engine.conftest import make_context
+
+        assert make_context().faults is None
+
+    def test_bad_executor_id_raises(self):
+        from repro.faults import ExecutorLoss
+
+        plan = FaultPlan(executor_losses=[ExecutorLoss(executor_id=99, at=1.0)])
+        ctx = make_fault_context(plan)  # 2 nodes -> executors 0..1
+        with pytest.raises(ValueError, match="executor 99"):
+            ctx.sim.run()

@@ -1,0 +1,134 @@
+"""Recovery machinery end-to-end: retries, lineage recomputation, loss.
+
+All scenarios run the materialised 200-record terasort (stages at roughly
+0-0.036, 0.036-0.103 and 0.103-0.199 simulated seconds under the empty
+plan) so fault times can be placed inside a specific stage, and every
+scenario must still produce the correct sorted output.
+"""
+
+import pytest
+
+from repro.engine.scheduler import JobAbortedError
+from repro.faults import (
+    ExecutorLoss,
+    FaultPlan,
+    NodeLoss,
+    TaskCrash,
+    TaskCrashRate,
+)
+from repro.observability.sinks import MemorySink
+from repro.observability.tracer import Tracer
+from tests.faults.conftest import run_small_terasort, sorted_output_keys
+
+
+def baseline_runtime():
+    ctx, _wl = run_small_terasort(FaultPlan())
+    return ctx.total_runtime
+
+
+class TestTaskRetry:
+    def test_single_crash_is_retried_and_output_correct(self):
+        plan = FaultPlan(task_crashes=[
+            TaskCrash(stage_ordinal=1, partition=0, attempt=0, at_fraction=0.5)
+        ])
+        ctx, wl = run_small_terasort(plan)
+        keys = sorted_output_keys(ctx, wl)
+        assert keys == sorted(keys) and len(keys) == 200
+        assert ctx.metrics.counter("scheduler.task_failures").value == 1
+        assert ctx.metrics.counter("scheduler.retries").value == 1
+        assert ctx.total_runtime > baseline_runtime()
+
+    def test_retry_emits_trace_events(self):
+        sink = MemorySink()
+        plan = FaultPlan(task_crashes=[
+            TaskCrash(stage_ordinal=1, partition=0, attempt=0)
+        ])
+        run_small_terasort(plan, tracer=Tracer(sinks=[sink]))
+        names = {e.name for e in sink.events}
+        assert "task-crash" in names or "retry-scheduled" in names
+        assert "retry-scheduled" in names
+
+    def test_crash_rate_budget_is_exact(self):
+        plan = FaultPlan(crash_rate=TaskCrashRate(probability=1.0,
+                                                  max_crashes=2))
+        ctx, wl = run_small_terasort(plan)
+        keys = sorted_output_keys(ctx, wl)
+        assert keys == sorted(keys) and len(keys) == 200
+        assert ctx.metrics.counter("scheduler.task_failures").value == 2
+
+    def test_max_failures_aborts_the_job(self):
+        plan = FaultPlan(task_crashes=[
+            TaskCrash(stage_ordinal=1, partition=0, attempt=a)
+            for a in range(4)  # spark.task.maxFailures defaults to 4
+        ])
+        with pytest.raises(JobAbortedError):
+            run_small_terasort(plan)
+
+    def test_abort_counts_in_metrics(self):
+        plan = FaultPlan(task_crashes=[
+            TaskCrash(stage_ordinal=1, partition=0, attempt=a)
+            for a in range(4)
+        ])
+        from tests.faults.conftest import make_fault_context
+        from repro.workloads import Terasort
+
+        ctx = make_fault_context(plan)
+        workload = Terasort(num_partitions=4)
+        workload.prepare_small(ctx, num_records=200)
+        with pytest.raises(JobAbortedError):
+            workload.execute(ctx)
+        assert ctx.metrics.counter("scheduler.jobs_aborted").value == 1
+
+
+class TestExecutorLoss:
+    def test_job_completes_correctly_and_slower(self):
+        plan = FaultPlan(executor_losses=[ExecutorLoss(executor_id=1, at=0.15)])
+        ctx, wl = run_small_terasort(plan)
+        keys = sorted_output_keys(ctx, wl)
+        assert keys == sorted(keys) and len(keys) == 200
+        assert ctx.metrics.counter("faults.executor_losses").value == 1
+        # Lost shuffle outputs force lineage recomputation, so the run is
+        # strictly slower than the empty-plan baseline.
+        assert ctx.metrics.counter("faults.recomputed_partitions").value > 0
+        assert ctx.total_runtime > baseline_runtime()
+
+    def test_loss_emits_recovery_spans(self):
+        sink = MemorySink()
+        plan = FaultPlan(executor_losses=[ExecutorLoss(executor_id=1, at=0.15)])
+        run_small_terasort(plan, tracer=Tracer(sinks=[sink]))
+        names = {e.name for e in sink.events}
+        assert "executor-loss" in names
+        assert "shuffle-recomputation" in names
+
+    def test_loss_before_job_starts_is_survivable(self):
+        # The whole job runs on the surviving executor.
+        plan = FaultPlan(executor_losses=[ExecutorLoss(executor_id=1, at=0.0)])
+        ctx, wl = run_small_terasort(plan)
+        keys = sorted_output_keys(ctx, wl)
+        assert keys == sorted(keys) and len(keys) == 200
+
+
+class TestNodeLoss:
+    def test_job_completes_from_surviving_replicas(self):
+        plan = FaultPlan(node_losses=[NodeLoss(node_id=1, at=0.11)])
+        ctx, wl = run_small_terasort(plan)
+        keys = sorted_output_keys(ctx, wl)
+        assert keys == sorted(keys) and len(keys) == 200
+        assert ctx.metrics.counter("faults.node_losses").value == 1
+        assert not ctx.cluster.node(1).alive
+        assert ctx.total_runtime > baseline_runtime()
+
+    def test_node_loss_emits_fault_events(self):
+        sink = MemorySink()
+        plan = FaultPlan(node_losses=[NodeLoss(node_id=1, at=0.11)])
+        run_small_terasort(plan, tracer=Tracer(sinks=[sink]))
+        names = {e.name for e in sink.events}
+        assert "node-loss" in names
+        assert "executor-loss" in names  # the machine's executor dies with it
+
+    def test_lost_replicas_leave_dfs_readable(self):
+        plan = FaultPlan(node_losses=[NodeLoss(node_id=1, at=0.11)])
+        ctx, wl = run_small_terasort(plan)
+        # The input file must still resolve to live replicas.
+        assert ctx.dfs.locations(wl.input_path)
+        assert all(node != 1 for node in ctx.dfs.locations(wl.input_path))

@@ -1,0 +1,64 @@
+"""Speculative execution: faster under stragglers, never changes results."""
+
+import pytest
+
+from repro.faults import FaultPlan, SpeculationConfig, Straggler
+from repro.faults.plan import straggler_plan
+from repro.harness.runner import run_workload
+from tests.faults.conftest import run_small_terasort, sorted_output_keys
+
+
+def small_straggler_plan(speculation: bool) -> FaultPlan:
+    return FaultPlan(
+        stragglers=[Straggler(node_id=1, at=0.05, duration=1.0,
+                              cpu_factor=0.2, disk_factor=0.2)],
+        speculation=SpeculationConfig(enabled=speculation),
+    )
+
+
+class TestResultsUnchanged:
+    def test_speculation_preserves_sorted_output(self):
+        ctx_off, wl_off = run_small_terasort(small_straggler_plan(False))
+        ctx_on, wl_on = run_small_terasort(small_straggler_plan(True))
+        keys_off = sorted_output_keys(ctx_off, wl_off)
+        keys_on = sorted_output_keys(ctx_on, wl_on)
+        assert keys_on == keys_off
+        assert keys_on == sorted(keys_on)
+        assert len(keys_on) == 200
+
+
+class TestRuntimeWin:
+    @pytest.fixture(scope="class")
+    def straggler_runs(self):
+        # Small static pools make tasks run in waves; a last-wave task on
+        # the slow node then has a 4x-faster twin worth launching.  (With
+        # oversubscribed pools every task starts at t=0 and the whole slow
+        # node finishes at once -- nothing left to speculate against.)
+        kwargs = dict(workload_kwargs={"scale": 0.05}, num_nodes=2,
+                      policy=("static", 4))
+        off = run_workload(
+            "terasort",
+            fault_plan=straggler_plan(node_id=1, at=10.0, duration=400.0,
+                                      factor=0.25, speculation=False),
+            **kwargs,
+        )
+        on = run_workload(
+            "terasort",
+            fault_plan=straggler_plan(node_id=1, at=10.0, duration=400.0,
+                                      factor=0.25, speculation=True),
+            **kwargs,
+        )
+        return off, on
+
+    def test_speculation_reduces_runtime(self, straggler_runs):
+        off, on = straggler_runs
+        assert on.runtime < off.runtime
+
+    def test_speculative_copies_win_at_least_once(self, straggler_runs):
+        _off, on = straggler_runs
+        assert on.ctx.metrics.counter("speculation.launched").value >= 1
+        assert on.ctx.metrics.counter("speculation.wins").value >= 1
+
+    def test_no_speculation_without_enablement(self, straggler_runs):
+        off, _on = straggler_runs
+        assert off.ctx.metrics.counter("speculation.launched").value == 0

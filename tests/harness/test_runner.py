@@ -121,6 +121,24 @@ class TestSweepAndBestfit:
             durations = {t: sweep[t].stages[ordinal].duration for t in sweep}
             assert threads == min(durations, key=durations.get)
 
+    def test_tie_break_prefers_smaller_pool(self):
+        class FakeStage:
+            def __init__(self, duration, io=True):
+                self.duration = duration
+                self.is_io_marked = io
+
+        class FakeRun:
+            def __init__(self, *durations):
+                self.stages = [FakeStage(d) for d in durations]
+
+        # All counts tie on stage 0; stage 1 has a strict winner.  Insertion
+        # order is deliberately scrambled: the tie-break must depend on the
+        # thread counts, not on whichever entry was inserted first.
+        sweep = {8: FakeRun(5.0, 9.0), 2: FakeRun(5.0, 7.0),
+                 4: FakeRun(5.0, 3.0)}
+        sizes = derive_bestfit(sweep, default_threads=8)
+        assert sizes == {0: 2, 1: 4}
+
     def test_non_io_stages_pinned_to_default(self):
         sweep = static_sweep(
             "pagerank",

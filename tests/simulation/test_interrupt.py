@@ -1,0 +1,160 @@
+"""Process interruption: the kernel primitive behind task kills."""
+
+import pytest
+
+from repro.simulation.core import Interrupt, Simulator
+from repro.simulation.resources import FairShareResource
+
+
+def make_sim():
+    return Simulator()
+
+
+class TestInterrupt:
+    def test_interrupt_raises_inside_process(self):
+        sim = make_sim()
+        seen = []
+
+        def body():
+            try:
+                yield sim.timeout(10.0)
+                seen.append("finished")
+            except Interrupt as exc:
+                seen.append(("interrupted", exc.cause))
+
+        proc = sim.process(body())
+        sim.timeout(3.0).add_callback(lambda _e: proc.interrupt("killed"))
+        sim.run()
+        assert seen == [("interrupted", "killed")]
+        assert sim.now == pytest.approx(10.0)  # the timeout still drains
+
+    def test_interrupted_process_can_clean_up_and_return(self):
+        sim = make_sim()
+
+        def body():
+            try:
+                yield sim.timeout(10.0)
+            except Interrupt:
+                yield sim.timeout(1.0)  # cleanup work in simulated time
+                return "cleaned"
+
+        proc = sim.process(body())
+        sim.timeout(2.0).add_callback(lambda _e: proc.interrupt())
+        sim.run()
+        assert proc.ok
+        assert proc.value == "cleaned"
+
+    def test_interrupt_after_completion_is_refused(self):
+        sim = make_sim()
+
+        def body():
+            yield sim.timeout(1.0)
+
+        proc = sim.process(body())
+        sim.run()
+        assert proc.interrupt() is False
+
+    def test_double_interrupt_delivers_once(self):
+        sim = make_sim()
+        hits = []
+
+        def body():
+            try:
+                yield sim.timeout(10.0)
+            except Interrupt:
+                hits.append("hit")
+
+        proc = sim.process(body())
+
+        def both(_event):
+            assert proc.interrupt("first") is True
+            assert proc.interrupt("second") is True  # already in flight
+
+        sim.timeout(1.0).add_callback(both)
+        sim.run()
+        assert hits == ["hit"]
+
+    def test_interrupt_before_start_cancels_silently(self):
+        sim = make_sim()
+        ran = []
+
+        def body():
+            ran.append(True)
+            yield sim.timeout(1.0)
+
+        proc = sim.process(body())
+        # The bootstrap event has not been processed yet: the body never ran.
+        assert proc.interrupt() is True
+        sim.run()
+        assert ran == []
+        assert proc.ok
+        assert proc.value is None
+
+    def test_other_waiters_unaffected(self):
+        sim = make_sim()
+        order = []
+        shared = sim.timeout(5.0)
+
+        def waiter(name):
+            yield shared
+            order.append(name)
+
+        sim.process(waiter("a"))
+        victim = sim.process(waiter("b"))
+        sim.process(waiter("c"))
+        sim.timeout(1.0).add_callback(lambda _e: victim.interrupt())
+        with pytest.raises(Interrupt):
+            sim.run()  # b's interrupt is unhandled and propagates
+        assert not victim.ok
+
+    def test_unhandled_interrupt_fails_the_process(self):
+        sim = make_sim()
+
+        def body():
+            yield sim.timeout(10.0)
+
+        proc = sim.process(body())
+        sim.timeout(1.0).add_callback(lambda _e: proc.interrupt("boom"))
+        with pytest.raises(Interrupt):
+            sim.run()
+        assert proc.triggered and not proc.ok
+        assert isinstance(proc.value, Interrupt)
+        assert proc.value.cause == "boom"
+
+
+class TestRunUntil:
+    def test_stops_at_event_without_draining(self):
+        sim = make_sim()
+        fired = []
+        sim.timeout(100.0).add_callback(lambda _e: fired.append("late"))
+
+        def body():
+            yield sim.timeout(2.0)
+
+        proc = sim.process(body())
+        sim.run_until(proc)
+        assert proc.triggered
+        assert sim.now == pytest.approx(2.0)
+        assert fired == []  # the t=100 event stays queued
+        sim.run()
+        assert fired == ["late"]
+        assert sim.now == pytest.approx(100.0)
+
+
+class TestNotifyRatesChanged:
+    def test_rate_change_replans_in_flight_jobs(self):
+        sim = make_sim()
+        resource = FairShareResource(sim, "dev", capacity=1.0)
+        job = resource.submit(10.0)  # finishes at t=10 at capacity 1.0
+        done = []
+        job.event.add_callback(lambda e: done.append(sim.now))
+
+        def speed_up():
+            resource.sync()  # settle work at the old rate first
+            resource.capacity = 5.0
+            resource.notify_rates_changed()
+
+        sim.timeout(5.0).add_callback(lambda _e: speed_up())
+        sim.run()
+        # 5 work units done by t=5, remaining 5 at rate 5 -> one more second.
+        assert done == [pytest.approx(6.0)]
