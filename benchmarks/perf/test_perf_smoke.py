@@ -1,0 +1,40 @@
+"""Smoke pass over the perf-regression suite (``repro bench``).
+
+Not part of the tier-1 test run (pytest's ``testpaths`` stops at
+``tests/``); CI's bench job and developers run it explicitly::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf -q
+
+Wall-clock assertions are deliberately loose -- this guards the machinery
+(the suite runs, the document is well-formed, the gate fires on a doctored
+regression), while the real perf gate is ``repro bench --check`` against
+``benchmarks/perf/baseline.json``.
+"""
+
+import copy
+import json
+import os
+
+from repro.harness import bench
+
+BASELINE = os.path.join(os.path.dirname(__file__), "baseline.json")
+
+
+def test_smoke_suite_and_gate_roundtrip():
+    doc = bench.run_suite(smoke=True, parallel=1)
+    assert bench.check_regression(doc, doc) == []
+
+    # A doctored 2x slowdown must trip the default gate.
+    slowed = copy.deepcopy(doc)
+    slowed["benchmarks"]["kernel_terasort"]["events_per_sec"] /= 2.0
+    failures = bench.check_regression(slowed, doc)
+    assert any("kernel_terasort" in failure for failure in failures)
+
+
+def test_committed_baseline_is_well_formed():
+    with open(BASELINE) as handle:
+        baseline = json.load(handle)
+    assert baseline["schema"] == bench.BENCH_SCHEMA
+    merits = bench._figures_of_merit(baseline)
+    assert "kernel_terasort" in merits
+    assert all(value > 0 for value in merits.values())

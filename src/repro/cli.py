@@ -6,8 +6,10 @@ Examples::
     python -m repro run terasort --policy dynamic --events out.jsonl
     python -m repro run terasort --faults examples/faults/node-loss.json
     python -m repro faults generate node-loss --at 60 --out plan.json
-    python -m repro compare pagerank --scale 0.5
+    python -m repro compare pagerank --scale 0.5 --parallel 2
     python -m repro sweep terasort --device ssd --trace sweep.json
+    python -m repro sweep terasort --scale 0.1 --parallel 0   # one per core
+    python -m repro bench --smoke --check benchmarks/perf/baseline.json
     python -m repro history out.jsonl
     python -m repro list
 
@@ -28,6 +30,7 @@ import sys
 from typing import List, Optional
 
 from repro.faults.plan import CANNED_PLANS, FaultPlan
+from repro.harness.parallel import RunConfig, map_runs, resolve_parallel
 from repro.harness.report import render_table
 from repro.harness.runner import (
     derive_bestfit,
@@ -64,11 +67,27 @@ def build_parser() -> argparse.ArgumentParser:
         "compare", help="default vs static BestFit vs dynamic (Fig. 8)"
     )
     _common_args(compare)
+    _parallel_arg(compare)
 
     sweep = sub.add_parser(
         "sweep", help="static solution at each thread count (Fig. 2/4/10)"
     )
     _common_args(sweep)
+    _parallel_arg(sweep)
+
+    bench = sub.add_parser(
+        "bench", help="kernel/e2e/sweep performance suite (see PERFORMANCE.md)"
+    )
+    bench.add_argument("--out", metavar="PATH", default="BENCH_kernel.json",
+                       help="where to write the results document")
+    bench.add_argument("--smoke", action="store_true",
+                       help="tiny inputs and single repeats (CI mode)")
+    bench.add_argument("--parallel", type=int, default=0, metavar="N",
+                       help="workers for the sweep benchmark (0 = all cores)")
+    bench.add_argument("--check", metavar="BASELINE.json", default=None,
+                       help="fail on >25%% regression vs a baseline document")
+    bench.add_argument("--tolerance", type=float, default=0.25,
+                       help="allowed fractional regression for --check")
 
     faults = sub.add_parser(
         "faults", help="fault-plan utilities (see FAULTS.md)"
@@ -131,6 +150,13 @@ def _common_args(parser: argparse.ArgumentParser) -> None:
                         help="write a Chrome trace_event JSON for Perfetto")
     parser.add_argument("--json", action="store_true",
                         help="emit results as JSON instead of tables")
+
+
+def _parallel_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--parallel", type=int, default=1, metavar="N",
+        help="fan independent runs out over N worker processes "
+             "(0 = one per core); results are deterministic either way")
 
 
 def _positive_int(text: str) -> int:
@@ -247,13 +273,32 @@ def cmd_run(args) -> int:
     return 0
 
 
-def cmd_sweep(args) -> int:
-    thread_counts = _thread_counts(args.cores)
+def _run_sweep(args, thread_counts) -> dict:
+    """Dispatch a static sweep sequentially or over worker processes."""
+    parallel = resolve_parallel(args.parallel)
+    if parallel > 1:
+        return static_sweep(
+            args.workload, thread_counts=thread_counts, parallel=parallel,
+            events_path_factory=(
+                (lambda t: _suffix_path(args.events, f"t{t}"))
+                if args.events else None
+            ),
+            trace_path_factory=(
+                (lambda t: _suffix_path(args.trace, f"t{t}"))
+                if args.trace else None
+            ),
+            **_run_kwargs(args),
+        )
     tracer_factory = None
     if args.events or args.trace:
         tracer_factory = lambda threads: _build_tracer(args, f"t{threads}")
-    sweep = static_sweep(args.workload, thread_counts=thread_counts,
-                         tracer_factory=tracer_factory, **_run_kwargs(args))
+    return static_sweep(args.workload, thread_counts=thread_counts,
+                        tracer_factory=tracer_factory, **_run_kwargs(args))
+
+
+def cmd_sweep(args) -> int:
+    thread_counts = _thread_counts(args.cores)
+    sweep = _run_sweep(args, thread_counts)
     sizes = derive_bestfit(sweep, default_threads=max(sweep))
     if args.json:
         payload = {
@@ -289,29 +334,49 @@ def cmd_sweep(args) -> int:
 
 
 def cmd_compare(args) -> int:
-    kwargs = _run_kwargs(args)
     thread_counts = _thread_counts(args.cores)
-    tracer_factory = None
-    if args.events or args.trace:
-        tracer_factory = lambda threads: _build_tracer(args, f"t{threads}")
-    sweep = static_sweep(args.workload, thread_counts=thread_counts,
-                         tracer_factory=tracer_factory, **kwargs)
+    parallel = resolve_parallel(args.parallel)
+    sweep = _run_sweep(args, thread_counts)
     default_threads = max(sweep)
     bestfit_sizes = derive_bestfit(sweep, default_threads=default_threads)
     # The static solution at all cores is stock Spark, so the sweep's top
     # run doubles as the "Default Spark" baseline (no hardcoded 32).
     default = sweep[default_threads]
 
-    tracer = _build_tracer(args, "bestfit")
-    bestfit = run_workload(args.workload, policy=("bestfit", bestfit_sizes),
-                           tracer=tracer, **kwargs)
-    if tracer is not None:
-        finish_trace(bestfit)
-    tracer = _build_tracer(args, "dynamic")
-    dynamic = run_workload(args.workload, policy="dynamic",
-                           tracer=tracer, **kwargs)
-    if tracer is not None:
-        finish_trace(dynamic)
+    if parallel > 1:
+        kwargs = _run_kwargs(args)
+        fault_plan = kwargs.pop("fault_plan", None)
+        workload_kwargs = kwargs.pop("workload_kwargs", {})
+        configs = [
+            RunConfig(
+                workload=args.workload, policy=policy, key=label,
+                workload_kwargs=workload_kwargs, cluster_kwargs=kwargs,
+                fault_plan_doc=fault_plan.to_dict() if fault_plan else None,
+                events_path=(
+                    _suffix_path(args.events, label) if args.events else None
+                ),
+                trace_path=(
+                    _suffix_path(args.trace, label) if args.trace else None
+                ),
+            )
+            for label, policy in (
+                ("bestfit", ("bestfit", bestfit_sizes)),
+                ("dynamic", "dynamic"),
+            )
+        ]
+        bestfit, dynamic = map_runs(configs, parallel)
+    else:
+        kwargs = _run_kwargs(args)
+        tracer = _build_tracer(args, "bestfit")
+        bestfit = run_workload(args.workload, policy=("bestfit", bestfit_sizes),
+                               tracer=tracer, **kwargs)
+        if tracer is not None:
+            finish_trace(bestfit)
+        tracer = _build_tracer(args, "dynamic")
+        dynamic = run_workload(args.workload, policy="dynamic",
+                               tracer=tracer, **kwargs)
+        if tracer is not None:
+            finish_trace(dynamic)
 
     systems = (("default", default), ("static bestfit", bestfit),
                ("self-adaptive", dynamic))
@@ -403,6 +468,49 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from repro.harness.bench import check_regression, run_suite
+
+    doc = run_suite(smoke=args.smoke, parallel=args.parallel)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    rows = []
+    for name, result in sorted(doc["benchmarks"].items()):
+        merit = result.get("events_per_sec") or result.get("runs_per_min") or 0
+        unit = "events/s" if result.get("events_per_sec") else "runs/min"
+        wall = result.get("wall_s", result.get("parallel_wall_s", 0.0))
+        rows.append((name, f"{merit:,.0f} {unit}", f"{wall:.3f}"))
+    print(render_table(["benchmark", "figure of merit", "wall (s)"], rows,
+                       title=f"repro bench [{doc['mode']}] -> {args.out}"))
+    sweep = doc["benchmarks"]["sweep"]
+    print(f"\nsweep: {sweep['points']} points, {sweep['workers']} worker(s), "
+          f"speedup {sweep['speedup']:.2f}x over sequential")
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        failures = check_regression(doc, baseline, tolerance=args.tolerance)
+        if failures:
+            # Standard perf-gate retry: a real regression reproduces on a
+            # fresh suite run, a scheduler-noise spike does not.
+            print(f"\nbelow baseline on first pass, re-measuring: "
+                  f"{'; '.join(failures)}", file=sys.stderr)
+            doc = run_suite(smoke=args.smoke, parallel=args.parallel)
+            with open(args.out, "w", encoding="utf-8") as handle:
+                json.dump(doc, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            failures = check_regression(doc, baseline,
+                                        tolerance=args.tolerance)
+        if failures:
+            print(f"\nPERF REGRESSION vs {args.check}:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"\nno regression vs {args.check} "
+              f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
 def cmd_history(args) -> int:
     try:
         events = load_events(args.eventlog)
@@ -472,6 +580,7 @@ COMMANDS = {
     "sweep": cmd_sweep,
     "compare": cmd_compare,
     "faults": cmd_faults,
+    "bench": cmd_bench,
     "history": cmd_history,
 }
 

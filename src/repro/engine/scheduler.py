@@ -231,7 +231,7 @@ class TaskScheduler:
         if missing:
             self._begin_recovery(missing)
         # First wave of launches goes out after one control-plane hop.
-        sim.timeout(self.channel.latency).add_callback(lambda _e: self._assign())
+        sim.call_in(self.channel.latency, self._assign)
         return run.done
 
     def _assign(self) -> None:

@@ -1,0 +1,266 @@
+"""Performance microbenchmarks: the engine behind ``repro bench``.
+
+Three layers, matching where runtime actually goes:
+
+* **Kernel** -- pure event-loop + fair-share throughput, measured in
+  *events per wall-clock second* on (a) a terasort-shaped resource churn
+  (many concurrent streams on per-node disks and CPUs, control-plane
+  messages over a :class:`~repro.simulation.resources.LatencyChannel`) and
+  (b) a raw timeout/process storm.
+* **End-to-end** -- wall time of a full scaled-down workload run
+  (terasort, pagerank) through every engine layer.
+* **Sweep** -- throughput of the multi-run experiment harness, sequential
+  vs ``--parallel``.
+
+Every benchmark reports an ``events_per_sec`` (or ``runs_per_min``) figure
+of merit -- *higher is better* -- which is what
+:func:`check_regression` compares against a committed baseline, so CI can
+fail a PR that slows the simulator down.  Wall-clock numbers come from
+``time.perf_counter`` and use best-of-N to shave scheduler noise.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.simulation.core import Simulator
+from repro.simulation.resources import CpuResource, LatencyChannel
+from repro.storage.device import HDD_PROFILE, MiB, StorageDevice
+
+BENCH_SCHEMA = "repro.bench/1"
+
+#: Regression gate used by ``repro bench --check`` and CI.
+DEFAULT_TOLERANCE = 0.25
+
+
+def _timed(fn: Callable[[], int], repeats: int) -> Tuple[int, float]:
+    """Run ``fn`` (returning an event count) ``repeats`` times; best wall."""
+    best_wall = float("inf")
+    events = 0
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        events = fn()
+        wall = time.perf_counter() - start
+        best_wall = min(best_wall, wall)
+    return events, best_wall
+
+
+def _rate_result(events: int, wall: float, **extra: Any) -> Dict[str, Any]:
+    return {
+        "events": events,
+        "wall_s": wall,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+        **extra,
+    }
+
+
+# -- kernel layer ----------------------------------------------------------
+
+
+def _terasort_kernel_run(num_nodes: int, tasks_per_node: int,
+                         waves: int) -> int:
+    """A terasort-shaped program against the bare kernel.
+
+    Each wave launches one task per virtual thread on every node; a task
+    reads three input chunks from its node disk, burns CPU, writes two
+    spill chunks, and reports completion over the control channel.  This
+    reproduces the event mix of terasort's I/O stages -- deep fair-share
+    queues with membership churn -- without the engine layers, so it
+    isolates exactly the paths the kernel fast paths optimise.
+    """
+    sim = Simulator()
+    nodes = [
+        (CpuResource(sim, f"cpu{i}", cores=tasks_per_node),
+         StorageDevice(sim, f"disk{i}", HDD_PROFILE))
+        for i in range(num_nodes)
+    ]
+    channel = LatencyChannel(sim, latency=0.001)
+    completions: List[int] = []
+
+    def task(cpu: CpuResource, disk: StorageDevice):
+        for _ in range(3):
+            yield disk.request(32 * MiB, "read")
+        yield cpu.submit(2.0, tag="cpu").event
+        for _ in range(2):
+            yield disk.request(24 * MiB, "write")
+        channel.send(completions.append, 1)
+
+    def driver():
+        for _wave in range(waves):
+            procs = [
+                sim.process(task(cpu, disk), name="task")
+                for cpu, disk in nodes
+                for _ in range(tasks_per_node)
+            ]
+            yield sim.all_of(procs)
+
+    sim.process(driver(), name="driver")
+    sim.run()
+    expected = num_nodes * tasks_per_node * waves
+    if len(completions) != expected:
+        raise RuntimeError(
+            f"kernel bench lost tasks: {len(completions)}/{expected}"
+        )
+    return sim.events_scheduled
+
+
+def bench_kernel_terasort(smoke: bool = False) -> Dict[str, Any]:
+    """The headline microbenchmark: kernel events/sec, terasort-shaped."""
+    # Smoke mode still runs multi-wave programs with best-of-3 walls: a
+    # sub-20ms single measurement is a preemption lottery, and the CI gate
+    # needs the figure of merit stable to well under the check tolerance.
+    waves = 4 if smoke else 6
+    events, wall = _timed(
+        lambda: _terasort_kernel_run(num_nodes=4, tasks_per_node=32,
+                                     waves=waves),
+        repeats=3,
+    )
+    return _rate_result(events, wall, nodes=4, tasks_per_node=32, waves=waves)
+
+
+def _storm_run(processes: int, hops: int) -> int:
+    """Raw dispatch: timeout ping-pong including zero-delay storms."""
+    sim = Simulator()
+
+    def pinger(index: int):
+        delay = 0.0001 * (index % 5)  # every 5th process is a zero-delay storm
+        for _ in range(hops):
+            yield sim.timeout(delay)
+
+    for index in range(processes):
+        sim.process(pinger(index), name="pinger")
+    sim.run()
+    return sim.events_scheduled
+
+
+def bench_kernel_storm(smoke: bool = False) -> Dict[str, Any]:
+    hops = 200 if smoke else 400
+    events, wall = _timed(
+        lambda: _storm_run(processes=100, hops=hops),
+        repeats=3,
+    )
+    return _rate_result(events, wall, processes=100, hops=hops)
+
+
+# -- end-to-end layer ------------------------------------------------------
+
+
+def bench_end_to_end(workload: str, smoke: bool = False) -> Dict[str, Any]:
+    """Full engine stack: one scaled-down run, wall time + events/sec."""
+    from repro.harness.runner import run_workload
+
+    scale = 0.02 if smoke else 0.05
+    holder: Dict[str, Any] = {}
+
+    def one_run() -> int:
+        run = run_workload(workload, policy="default",
+                           workload_kwargs={"scale": scale})
+        holder["sim_runtime_s"] = run.runtime
+        return run.ctx.sim.events_scheduled
+
+    events, wall = _timed(one_run, repeats=2 if smoke else 3)
+    return _rate_result(events, wall, scale=scale,
+                        sim_runtime_s=holder["sim_runtime_s"])
+
+
+# -- sweep layer -----------------------------------------------------------
+
+
+def bench_sweep(parallel: int = 0, smoke: bool = False) -> Dict[str, Any]:
+    """Experiment-harness throughput: an 8-point sweep, seq vs parallel.
+
+    ``cores=256`` widens the thread ladder to 8 points (256..2) so the
+    sweep is big enough to amortise worker startup; the tiny scale keeps
+    each point short.  Reports ``runs_per_min`` for the parallel
+    configuration as the regression figure of merit, plus the observed
+    speedup over the sequential pass.
+    """
+    from repro.harness.parallel import resolve_parallel
+    from repro.harness.runner import static_sweep
+
+    workers = resolve_parallel(parallel)
+    scale = 0.01 if smoke else 0.02
+    kwargs = dict(workload_kwargs={"scale": scale}, cores=256)
+    thread_counts = (256, 128, 64, 32, 16, 8, 4, 2)
+
+    start = time.perf_counter()
+    static_sweep("terasort", thread_counts=thread_counts, **kwargs)
+    sequential_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    static_sweep("terasort", thread_counts=thread_counts, parallel=workers,
+                 **kwargs)
+    parallel_wall = time.perf_counter() - start
+
+    points = len(thread_counts)
+    return {
+        "points": points,
+        "scale": scale,
+        "workers": workers,
+        "sequential_wall_s": sequential_wall,
+        "parallel_wall_s": parallel_wall,
+        "speedup": sequential_wall / parallel_wall if parallel_wall > 0 else 0.0,
+        "events_per_sec": None,  # not a kernel metric; gate on runs_per_min
+        "runs_per_min": 60.0 * points / parallel_wall if parallel_wall > 0 else 0.0,
+    }
+
+
+# -- suite -----------------------------------------------------------------
+
+
+def run_suite(smoke: bool = False, parallel: int = 0) -> Dict[str, Any]:
+    """Run every benchmark and assemble the ``BENCH_kernel.json`` document."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "mode": "smoke" if smoke else "full",
+        "host": {
+            "cpus": os.cpu_count(),
+            "python": sys.version.split()[0],
+            "platform": sys.platform,
+        },
+        "benchmarks": {
+            "kernel_terasort": bench_kernel_terasort(smoke=smoke),
+            "kernel_storm": bench_kernel_storm(smoke=smoke),
+            "e2e_terasort": bench_end_to_end("terasort", smoke=smoke),
+            "e2e_pagerank": bench_end_to_end("pagerank", smoke=smoke),
+            "sweep": bench_sweep(parallel=parallel, smoke=smoke),
+        },
+    }
+
+
+def _figures_of_merit(doc: Dict[str, Any]) -> Dict[str, float]:
+    """name -> higher-is-better metric, for regression comparison."""
+    merits: Dict[str, float] = {}
+    for name, result in doc.get("benchmarks", {}).items():
+        if result.get("events_per_sec"):
+            merits[name] = result["events_per_sec"]
+        elif result.get("runs_per_min"):
+            merits[name] = result["runs_per_min"]
+    return merits
+
+
+def check_regression(current: Dict[str, Any], baseline: Dict[str, Any],
+                     tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
+    """Compare two bench documents; returns human-readable failures.
+
+    A benchmark regresses when its figure of merit drops more than
+    ``tolerance`` (fractional) below the baseline's.  Benchmarks present in
+    only one document are ignored -- adding a benchmark must not fail the
+    gate retroactively.
+    """
+    failures: List[str] = []
+    current_merits = _figures_of_merit(current)
+    for name, base_value in _figures_of_merit(baseline).items():
+        value = current_merits.get(name)
+        if value is None or base_value <= 0:
+            continue
+        drop = 1.0 - value / base_value
+        if drop > tolerance:
+            failures.append(
+                f"{name}: {value:,.0f} is {drop:.0%} below baseline "
+                f"{base_value:,.0f} (tolerance {tolerance:.0%})"
+            )
+    return failures

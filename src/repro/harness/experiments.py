@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.engine.conf import SparkConf
+from repro.harness.parallel import RunConfig, map_runs
 from repro.harness.runner import (
     build_cluster,
     derive_bestfit,
@@ -35,21 +36,26 @@ def table1_parameters() -> Dict[str, int]:
     return SparkConf.category_counts()
 
 
-def table2_io_activity(scale: float = 0.05) -> List[dict]:
+def table2_io_activity(scale: float = 0.05, parallel: int = 1) -> List[dict]:
     """Table 2: cluster I/O activity relative to input size, 9 workloads.
 
     Amplification ratios are scale-invariant, so the default runs each
-    workload on 5% of the paper's input size.
+    workload on 5% of the paper's input size.  ``parallel`` fans the nine
+    independent runs over worker processes (row order is unaffected).
     """
+    configs = [
+        RunConfig(workload=name, policy="default", key=name,
+                  workload_kwargs={"scale": scale})
+        for name in TABLE2_WORKLOADS
+    ]
     rows = []
-    for name in TABLE2_WORKLOADS:
-        workload = get_workload(name, scale=scale)
-        run = run_workload(workload, policy="default")
+    for run in map_runs(configs, parallel):
+        workload = get_workload(run.workload, scale=scale)
         measured = run.cluster_io_bytes
         input_bytes = workload.scaled_input_size
         rows.append(
             {
-                "application": name,
+                "application": run.workload,
                 "input_gib": input_bytes / GiB,
                 "io_activity_gib": measured / GiB,
                 "measured_amplification": measured / input_bytes,
@@ -79,10 +85,16 @@ def fig1_cpu_iowait(scale: float = 1.0) -> Dict[str, List[dict]]:
 
 
 def fig2_static_sweep(workload: str, scale: float = 1.0,
-                      device: str = "hdd") -> dict:
-    """Figs. 2/4/10: the static solution at each thread count + BestFit."""
+                      device: str = "hdd", parallel: int = 1) -> dict:
+    """Figs. 2/4/10: the static solution at each thread count + BestFit.
+
+    ``parallel`` spreads the sweep's independent points over worker
+    processes; the result dict is identical either way (parallel runs hand
+    back the full per-run recorder, so Fig. 5's utilisation analysis keeps
+    working on ``_sweep_runs``).
+    """
     sweep = static_sweep(workload, THREAD_COUNTS, device=device,
-                         workload_kwargs={"scale": scale})
+                         workload_kwargs={"scale": scale}, parallel=parallel)
     bestfit_sizes = derive_bestfit(sweep, DEFAULT_THREADS)
     bestfit = run_workload(workload, policy=("bestfit", bestfit_sizes),
                            device=device, workload_kwargs={"scale": scale})
@@ -189,16 +201,21 @@ def fig6_dynamic_decisions(scale: float = 1.0) -> List[dict]:
     return rows
 
 
-def fig7_congestion_index(scale: float = 1.0) -> List[dict]:
+def fig7_congestion_index(scale: float = 1.0,
+                          parallel: int = 1) -> List[dict]:
     """Fig. 7: steady-state ε, µ, and ζ per thread count, Terasort stages.
 
     The paper plots the effect of each fixed thread count on one executor's
     sensors; we run the fixed policy at each count and read executor 0.
+    The per-count runs are independent, so ``parallel`` fans them out.
     """
-    per_thread_runs = {
-        threads: run_workload("terasort", policy=("fixed", threads),
-                              workload_kwargs={"scale": scale})
+    configs = [
+        RunConfig(workload="terasort", policy=("fixed", threads), key=threads,
+                  workload_kwargs={"scale": scale})
         for threads in reversed(THREAD_COUNTS)
+    ]
+    per_thread_runs = {
+        run.key: run for run in map_runs(configs, parallel)
     }
     return fig7_from_runs(per_thread_runs)
 
@@ -276,7 +293,7 @@ def fig8_end_to_end(workload: str, scale: float = 1.0,
     }
 
 
-def fig9_scalability(scale: float = 1.0) -> dict:
+def fig9_scalability(scale: float = 1.0, parallel: int = 1) -> dict:
     """Fig. 9: Terasort on 4 vs 16 nodes with proportionally scaled input.
 
     The paper's claim: the default does not scale (runtime grows despite a
@@ -287,7 +304,8 @@ def fig9_scalability(scale: float = 1.0) -> dict:
     for num_nodes in (4, 16):
         node_scale = scale * (num_nodes / 4.0)
         sweep = static_sweep("terasort", THREAD_COUNTS, num_nodes=num_nodes,
-                             workload_kwargs={"scale": node_scale})
+                             workload_kwargs={"scale": node_scale},
+                             parallel=parallel)
         bestfit_sizes = derive_bestfit(sweep, DEFAULT_THREADS)
         bestfit_run = run_workload(
             "terasort", policy=("bestfit", bestfit_sizes),
@@ -304,29 +322,39 @@ def fig9_scalability(scale: float = 1.0) -> dict:
     return results
 
 
-def fig12_throughput_timeseries(scale: float = 1.0) -> List[dict]:
+def fig12_throughput_timeseries(scale: float = 1.0,
+                                parallel: int = 1) -> List[dict]:
     """Fig. 12: node-0 disk throughput over time per thread count,
-    Terasort stages 0-1, HDD vs SSD."""
+    Terasort stages 0-1, HDD vs SSD.
+
+    The ten (device, threads) runs are independent; ``parallel`` fans them
+    out while preserving row order.
+    """
+    configs = [
+        RunConfig(workload="terasort", policy=("fixed", threads),
+                  key=(device, threads),
+                  workload_kwargs={"scale": scale},
+                  cluster_kwargs={"device": device})
+        for device in ("hdd", "ssd")
+        for threads in THREAD_COUNTS
+    ]
     rows = []
-    for device in ("hdd", "ssd"):
-        for threads in THREAD_COUNTS:
-            run = run_workload("terasort", policy=("fixed", threads),
-                               device=device,
-                               workload_kwargs={"scale": scale})
-            for ordinal in (0, 1):
-                stage = run.stages[ordinal]
-                series = throughput_timeseries(
-                    run.ctx.recorder, stage.stage_id, node_id=0
-                )
-                values = [v for _t, v in series]
-                rows.append(
-                    {
-                        "device": device,
-                        "threads": threads,
-                        "stage": ordinal,
-                        "series": series,
-                        "mean_throughput": sum(values) / len(values),
-                        "peak_throughput": max(values),
-                    }
-                )
+    for run in map_runs(configs, parallel):
+        device, threads = run.key
+        for ordinal in (0, 1):
+            stage = run.stages[ordinal]
+            series = throughput_timeseries(
+                run.ctx.recorder, stage.stage_id, node_id=0
+            )
+            values = [v for _t, v in series]
+            rows.append(
+                {
+                    "device": device,
+                    "threads": threads,
+                    "stage": ordinal,
+                    "series": series,
+                    "mean_throughput": sum(values) / len(values),
+                    "peak_throughput": max(values),
+                }
+            )
     return rows

@@ -1,0 +1,165 @@
+"""Parallel execution of independent simulation runs.
+
+A sweep or comparison replays dozens of fully independent deterministic
+runs; on a multi-core host there is no reason to run them one after the
+other.  This module fans runs out over a :class:`~concurrent.futures.
+ProcessPoolExecutor` while keeping two properties the harness relies on:
+
+* **Determinism.**  Each run is seeded and self-contained, and results are
+  returned in the order their configs were submitted (``Executor.map``
+  semantics), so a parallel sweep produces byte-for-byte the same report as
+  a sequential one.
+* **Picklability.**  A :class:`RunConfig` is plain data (names, numbers,
+  dicts) and a :class:`RunSummary` carries the full
+  :class:`~repro.engine.metrics.RunRecorder` -- everything the figure
+  pipeline reads -- but not the live simulator, whose generator-based
+  processes cannot cross a process boundary.
+
+``parallel <= 1`` runs everything in-process (no pool, no pickling), which
+is also the fallback for the interactive default.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.engine.metrics import RunRecorder, StageRecord
+
+
+def resolve_parallel(parallel: Optional[int]) -> int:
+    """Normalise a ``--parallel`` value: ``0``/``None`` means all cores."""
+    if not parallel:
+        return os.cpu_count() or 1
+    if parallel < 0:
+        raise ValueError(f"parallel must be >= 0, got {parallel}")
+    return parallel
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """One independent run, described entirely by picklable data.
+
+    ``key`` is an opaque caller label (e.g. the sweep's thread count) echoed
+    back on the matching :class:`RunSummary`.  ``policy`` uses the harness
+    spec vocabulary (string or ``(kind, arg)`` tuple); callable specs cannot
+    cross a process boundary and are rejected up front.
+    """
+
+    workload: str
+    policy: Any = "default"
+    key: Any = None
+    workload_kwargs: Dict[str, Any] = field(default_factory=dict)
+    conf_overrides: Dict[str, Any] = field(default_factory=dict)
+    cluster_kwargs: Dict[str, Any] = field(default_factory=dict)
+    fault_plan_doc: Optional[Dict[str, Any]] = None
+    events_path: Optional[str] = None
+    trace_path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if callable(self.policy):
+            raise ValueError(
+                "callable policy specs cannot be executed in a worker "
+                "process; use a string or (kind, arg) spec"
+            )
+
+
+@dataclass
+class RunSummary:
+    """The picklable slice of a :class:`~repro.workloads.WorkloadRun`.
+
+    Duck-types the attributes the report/figure pipeline reads (``runtime``,
+    ``stages``, ``stage_durations`` ...) so :func:`~repro.harness.runner.
+    derive_bestfit` and the CLI renderers accept either type.  ``ctx`` is a
+    minimal view exposing ``recorder`` for the monitoring analyses.
+    """
+
+    workload: str
+    key: Any
+    runtime: float
+    recorder: RunRecorder
+    cluster_io_bytes: float = 0.0
+
+    @property
+    def stages(self) -> List[StageRecord]:
+        return self.recorder.stages
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.recorder.stages)
+
+    def stage_durations(self) -> List[float]:
+        return [stage.duration for stage in self.recorder.stages]
+
+    @property
+    def ctx(self) -> "_RecorderView":
+        return _RecorderView(self.recorder)
+
+
+@dataclass(frozen=True)
+class _RecorderView:
+    """Stand-in for the bits of SparkContext that survive pickling."""
+
+    recorder: RunRecorder
+
+
+def execute_run_config(config: RunConfig) -> RunSummary:
+    """Run one config to completion; the pool's worker entry point.
+
+    Imports stay inside the function so a worker only pays for what the
+    run actually uses (and so this module stays import-light for the
+    parent process).
+    """
+    from repro.faults.plan import FaultPlan
+    from repro.harness.runner import finish_trace, run_workload
+    from repro.observability.chrome import ChromeTraceSink
+    from repro.observability.sinks import JsonLinesSink
+    from repro.observability.tracer import Tracer
+
+    sinks = []
+    if config.events_path:
+        sinks.append(JsonLinesSink(config.events_path))
+    if config.trace_path:
+        sinks.append(ChromeTraceSink(config.trace_path))
+    tracer = Tracer(sinks=sinks) if sinks else None
+
+    fault_plan = None
+    if config.fault_plan_doc is not None:
+        fault_plan = FaultPlan.from_dict(config.fault_plan_doc)
+
+    run = run_workload(
+        config.workload,
+        policy=config.policy,
+        conf_overrides=dict(config.conf_overrides) or None,
+        workload_kwargs=dict(config.workload_kwargs) or None,
+        tracer=tracer,
+        fault_plan=fault_plan,
+        **dict(config.cluster_kwargs),
+    )
+    if tracer is not None:
+        finish_trace(run)
+    return RunSummary(
+        workload=run.workload,
+        key=config.key,
+        runtime=run.runtime,
+        recorder=run.ctx.recorder,
+        cluster_io_bytes=run.cluster_io_bytes,
+    )
+
+
+def map_runs(configs: List[RunConfig], parallel: int = 1) -> List[RunSummary]:
+    """Execute every config; results come back in submission order.
+
+    With ``parallel > 1`` the configs are spread over a process pool (capped
+    at the number of configs -- idle workers are pure fork overhead); with
+    ``parallel <= 1`` they run sequentially in-process, bit-identically to
+    the pool path because each run owns a private simulator either way.
+    """
+    configs = list(configs)
+    if parallel <= 1 or len(configs) <= 1:
+        return [execute_run_config(config) for config in configs]
+    workers = min(parallel, len(configs))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(execute_run_config, configs))

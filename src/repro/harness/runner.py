@@ -142,15 +142,57 @@ def static_sweep(
     workload_kwargs: Optional[Dict[str, Any]] = None,
     conf_overrides: Optional[Dict[str, Any]] = None,
     tracer_factory: Optional[Callable[[int], Optional[Tracer]]] = None,
+    parallel: int = 1,
+    events_path_factory: Optional[Callable[[int], str]] = None,
+    trace_path_factory: Optional[Callable[[int], str]] = None,
     **cluster_kwargs: Any,
-) -> Dict[int, WorkloadRun]:
+) -> Dict[int, Any]:
     """The paper's Fig. 2/4/10 protocol: the static solution at each count.
 
     The run at the highest count doubles as the paper's "Default Spark"
     baseline, since the static solution at all cores is the default.
     ``tracer_factory(threads)`` may supply a fresh tracer per run; each one
     is finalised (metrics event + close) before the next run starts.
+
+    With ``parallel > 1`` the (independent, seeded) points run in worker
+    processes and the mapping's values are picklable
+    :class:`~repro.harness.parallel.RunSummary` objects instead of live
+    :class:`~repro.workloads.WorkloadRun`\\ s -- same runtimes, same stage
+    records, no simulator.  Event/trace outputs then come from
+    ``events_path_factory(threads)`` / ``trace_path_factory(threads)``
+    (in-process ``tracer_factory`` objects cannot cross the pool boundary).
     """
+    if parallel > 1:
+        from repro.harness.parallel import RunConfig, map_runs
+
+        if tracer_factory is not None:
+            raise ValueError(
+                "tracer_factory requires sequential execution; use "
+                "events_path_factory/trace_path_factory with parallel sweeps"
+            )
+        if not isinstance(workload, str):
+            raise ValueError("parallel sweeps require a workload name")
+        fault_plan = cluster_kwargs.pop("fault_plan", None)
+        configs = [
+            RunConfig(
+                workload=workload,
+                policy=("static", threads),
+                key=threads,
+                workload_kwargs=workload_kwargs or {},
+                conf_overrides=conf_overrides or {},
+                cluster_kwargs=cluster_kwargs,
+                fault_plan_doc=fault_plan.to_dict() if fault_plan else None,
+                events_path=(
+                    events_path_factory(threads) if events_path_factory else None
+                ),
+                trace_path=(
+                    trace_path_factory(threads) if trace_path_factory else None
+                ),
+            )
+            for threads in thread_counts
+        ]
+        return {summary.key: summary for summary in map_runs(configs, parallel)}
+
     runs: Dict[int, WorkloadRun] = {}
     for threads in thread_counts:
         tracer = tracer_factory(threads) if tracer_factory else None
@@ -167,9 +209,13 @@ def static_sweep(
     return runs
 
 
-def derive_bestfit(sweep: Dict[int, WorkloadRun],
+def derive_bestfit(sweep: Dict[int, Any],
                    default_threads: int = 32) -> Dict[int, int]:
     """Per-stage best thread counts from a static sweep (paper's BestFit).
+
+    ``sweep`` values may be live :class:`~repro.workloads.WorkloadRun`\\ s or
+    the picklable summaries a parallel sweep returns; only ``stages`` and
+    per-stage durations are read.
 
     Only I/O-marked stages are tunable by the static solution; every other
     stage keeps the default (that restriction is exactly why static BestFit

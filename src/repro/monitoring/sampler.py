@@ -57,8 +57,7 @@ class MonitoringService:
     # -- sampling loop -----------------------------------------------------------
 
     def _schedule_next(self) -> None:
-        marker = self.ctx.sim.timeout(self.interval)
-        marker.add_callback(lambda _e: self._tick())
+        self.ctx.sim.call_in(self.interval, self._tick)
 
     def _tick(self) -> None:
         if self._active_stage_id is None:

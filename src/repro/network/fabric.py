@@ -17,7 +17,12 @@ GBIT = 1e9 / 8.0  # bytes/second for one gigabit
 
 
 class NetworkLink(FairShareResource):
-    """One direction of a node NIC, shared equally among active flows."""
+    """One direction of a node NIC, shared equally among active flows.
+
+    The equal split is exactly the base class's rate curve, so links inherit
+    both :meth:`~FairShareResource.rates` and its allocation-free scalar twin
+    :meth:`~FairShareResource.uniform_rate` unchanged.
+    """
 
     def __init__(
         self,
@@ -38,11 +43,11 @@ class NetworkLink(FairShareResource):
             raise ValueError(f"negative transfer size: {size}")
         done = self.sim.event()
 
-        def start(_event: Event) -> None:
+        def start() -> None:
             job = self.submit(size, tag=tag)
             job.event.add_callback(lambda _e: self._finish(done, size))
 
-        self.sim.timeout(self.latency).add_callback(start)
+        self.sim.call_in(self.latency, start)
         return done
 
     def _finish(self, done: Event, size: float) -> None:

@@ -18,6 +18,7 @@ from repro.simulation.core import (
     AllOf,
     AnyOf,
     Event,
+    Interrupt,
     Process,
     SimulationError,
     Simulator,
@@ -37,6 +38,7 @@ __all__ = [
     "CpuResource",
     "Event",
     "FairShareResource",
+    "Interrupt",
     "Job",
     "Process",
     "RandomStreams",

@@ -12,7 +12,6 @@ ties in the event queue are broken by insertion order.
 from __future__ import annotations
 
 import heapq
-import inspect
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 
@@ -107,6 +106,23 @@ class Event:
             self.callbacks.append(callback)
 
 
+class _DeferredCall:
+    """A bare scheduled callback: the queue entry for :meth:`Simulator.call_in`.
+
+    Hot paths (channel latency hops, fair-share wake-ups) schedule tens of
+    thousands of fire-once callbacks per run; routing them through a full
+    :class:`Event` costs an object, a callbacks list, and a closure apiece.
+    A deferred call is two slots and is dispatched inline by :meth:`step`.
+    Nothing can wait on it, which is exactly why it is cheap.
+    """
+
+    __slots__ = ("fn", "args")
+
+    def __init__(self, fn: Callable[..., None], args: tuple) -> None:
+        self.fn = fn
+        self.args = args
+
+
 class Timeout(Event):
     """An event that fires after a fixed delay."""
 
@@ -133,7 +149,7 @@ class Process(Event):
     so processes can wait on each other.
     """
 
-    __slots__ = ("generator", "name", "_waiting_on", "_trace_span")
+    __slots__ = ("generator", "name", "_waiting_on", "_trace_span", "_started")
 
     def __init__(
         self,
@@ -149,9 +165,9 @@ class Process(Event):
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Optional[Event] = None
-        tracer = sim.tracer
-        if tracer is not None and tracer.enabled:
-            self._trace_span = tracer.begin("process", self.name)
+        self._started = False
+        if sim.trace_enabled:
+            self._trace_span = sim.tracer.begin("process", self.name)
         else:
             self._trace_span = -1
         bootstrap = Event(sim)
@@ -194,7 +210,7 @@ class Process(Event):
                 target.callbacks.remove(self._resume)
             except ValueError:
                 pass
-        if inspect.getgeneratorstate(self.generator) == inspect.GEN_CREATED:
+        if not self._started:
             # Never started: cancel without running the body.
             self.generator.close()
             self._waiting_on = None
@@ -220,6 +236,7 @@ class Process(Event):
             # interrupt (or already resumed through a replay stub).
             return
         self._waiting_on = None
+        self._started = True
         try:
             if event.ok:
                 target = self.generator.send(event.value)
@@ -286,6 +303,11 @@ class AllOf(Event):
 class AnyOf(Event):
     """Fires when the first child event fires; value is that event's value."""
 
+    # Adds no state of its own, but without an explicit (empty) __slots__
+    # Python would silently re-add a per-instance __dict__ that the parent's
+    # __slots__ exists to avoid.
+    __slots__ = ()
+
     def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim)
         events = list(events)
@@ -321,14 +343,36 @@ class Simulator:
         self._now = 0.0
         self._queue: List[tuple] = []
         self._sequence = 0
-        #: Optional span tracer (duck-typed to avoid importing observability
-        #: here); embedders wire it, and every hook guards on ``enabled`` so
-        #: the untraced path costs one attribute read.
-        self.tracer: Optional[Any] = None
+        self._tracer: Optional[Any] = None
+        #: Cached ``tracer is not None and tracer.enabled``, so the untraced
+        #: hot path (one check per process spawn) costs a single boolean
+        #: read instead of two attribute lookups.  Captured when the tracer
+        #: is wired; embedders must not toggle ``tracer.enabled`` afterwards.
+        self.trace_enabled = False
 
     @property
     def now(self) -> float:
         return self._now
+
+    @property
+    def tracer(self) -> Optional[Any]:
+        """Optional span tracer (duck-typed to avoid importing observability
+        here); embedders wire it before the first process is spawned."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, value: Optional[Any]) -> None:
+        self._tracer = value
+        self.trace_enabled = value is not None and bool(value.enabled)
+
+    @property
+    def events_scheduled(self) -> int:
+        """Total events (and deferred calls) scheduled so far.
+
+        Monotonic over a run, so deltas give the kernel throughput that
+        ``repro bench`` reports as events/second.
+        """
+        return self._sequence
 
     # -- scheduling -------------------------------------------------------
 
@@ -359,12 +403,32 @@ class Simulator:
         marker.add_callback(lambda _e: callback())
         return marker
 
+    def call_in(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` seconds, without an :class:`Event`.
+
+        The lightweight sibling of :meth:`call_at` for fire-once callbacks
+        nothing needs to wait on: one queue entry, no event object, no
+        callbacks list.  Ties against events scheduled for the same instant
+        are still broken by scheduling order, so replacing a one-callback
+        :class:`Timeout` with ``call_in`` preserves the event-by-event
+        timeline exactly.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative call_in delay: {delay!r}")
+        self._sequence += 1
+        heapq.heappush(
+            self._queue, (self._now + delay, self._sequence, _DeferredCall(fn, args))
+        )
+
     # -- execution --------------------------------------------------------
 
     def step(self) -> None:
-        """Process the next scheduled event."""
+        """Process the next scheduled event (or deferred call)."""
         when, _seq, event = heapq.heappop(self._queue)
         self._now = when
+        if type(event) is _DeferredCall:
+            event.fn(*event.args)
+            return
         callbacks = event.callbacks
         event.callbacks = None
         event._processed = True

@@ -108,6 +108,16 @@ class FairShareResource:
         self._jobs: List[Job] = []
         self._last_update = sim.now
         self._wake_generation = 0
+        # The scalar fast path is only sound when rates() and uniform_rate()
+        # describe the same policy.  A subclass that overrides rates() without
+        # overriding uniform_rate() (a custom, possibly non-uniform curve)
+        # silently keeps the allocation-free path disabled rather than
+        # mispricing its jobs.
+        cls = type(self)
+        self._uniform_hook = (
+            cls.rates is FairShareResource.rates
+            or cls.uniform_rate is not FairShareResource.uniform_rate
+        )
 
     # -- rate policy -------------------------------------------------------
 
@@ -115,6 +125,19 @@ class FairShareResource:
         """Per-job service rate (work units per second) for the active set."""
         share = self.capacity / len(jobs)
         return {job: share for job in jobs}
+
+    def uniform_rate(self, n: int) -> Optional[float]:
+        """The common per-job rate when all ``n`` active jobs are served
+        equally, or ``None`` when rates differ across the set.
+
+        This is the allocation-free twin of :meth:`rates`: the kernel's hot
+        paths (`_advance`/`_reschedule`/`_on_wake`) call it first and only
+        fall back to the per-job dict when it returns ``None``.  Overrides
+        MUST compute the exact same float as :meth:`rates` would (same
+        expression, same operation order) -- event logs are bit-compared
+        across versions.
+        """
+        return self.capacity / n
 
     # -- public API --------------------------------------------------------
 
@@ -175,23 +198,41 @@ class FairShareResource:
         if dt <= 0:
             self._last_update = now
             return
-        if self._jobs:
-            rates = self.rates(self._jobs)
+        jobs = self._jobs
+        if jobs:
+            uniform = self.uniform_rate(len(jobs)) if self._uniform_hook else None
+            rates = None if uniform is not None else self.rates(jobs)
+            base_step = None if uniform is None else uniform * dt
+            stats = self.stats
+            work_by_tag = stats.work_by_tag
             moved = 0.0
-            for job in self._jobs:
-                step = rates[job] * dt
+            # Tag accounting is batched per *run* of equal tags: the dict is
+            # read once when the tag changes and written once when it changes
+            # back (or at the end), instead of a get+set per job.  The
+            # accumulation order is unchanged, so every float -- and thus
+            # every bit of the event log -- matches the per-job version.
+            run_tag = ""
+            run_total = 0.0
+            for job in jobs:
+                step = base_step if rates is None else rates[job] * dt
                 if step > job.remaining:
                     step = job.remaining
                 job.remaining -= step
                 moved += step
-                if job.tag:
-                    self.stats.work_by_tag[job.tag] = (
-                        self.stats.work_by_tag.get(job.tag, 0.0) + step
-                    )
-            self.stats.busy_time += dt
-            self.stats.work_done += moved
-            self.stats.concurrency_integral += len(self._jobs) * dt
-            self.stats.occupancy_integral += self._occupied(len(self._jobs)) * dt
+                tag = job.tag
+                if tag:
+                    if tag != run_tag:
+                        if run_tag:
+                            work_by_tag[run_tag] = run_total
+                        run_tag = tag
+                        run_total = work_by_tag.get(tag, 0.0)
+                    run_total += step
+            if run_tag:
+                work_by_tag[run_tag] = run_total
+            stats.busy_time += dt
+            stats.work_done += moved
+            stats.concurrency_integral += len(jobs) * dt
+            stats.occupancy_integral += self._occupied(len(jobs)) * dt
         self._last_update = now
 
     def _occupied(self, active: int) -> float:
@@ -205,16 +246,25 @@ class FairShareResource:
 
     def _reschedule(self) -> None:
         self._wake_generation += 1
-        if not self._jobs:
+        jobs = self._jobs
+        if not jobs:
             return
         generation = self._wake_generation
-        rates = self.rates(self._jobs)
+        uniform = self.uniform_rate(len(jobs)) if self._uniform_hook else None
         horizon = math.inf
-        for job in self._jobs:
-            rate = rates[job]
-            if rate <= 0:
-                continue
-            horizon = min(horizon, job.remaining / rate)
+        if uniform is not None:
+            # One shared rate: the soonest completion belongs to the job with
+            # the least remaining work (division by a positive constant is
+            # monotone, so this is bit-identical to the per-job minimum).
+            if uniform > 0:
+                horizon = min(job.remaining for job in jobs) / uniform
+        else:
+            rates = self.rates(jobs)
+            for job in jobs:
+                rate = rates[job]
+                if rate <= 0:
+                    continue
+                horizon = min(horizon, job.remaining / rate)
         if not math.isfinite(horizon):
             raise SimulationError(
                 f"resource {self.name!r} has active jobs but zero service rate"
@@ -223,29 +273,32 @@ class FairShareResource:
         # with a sliver of residual work must not schedule a wake-up that
         # fails to advance `now`, or the loop would spin forever.
         floor = max(1e-9, self.sim.now * 1e-11)
-        marker = self.sim.timeout(max(horizon, floor))
-        marker.add_callback(lambda _e: self._on_wake(generation))
+        self.sim.call_in(max(horizon, floor), self._on_wake, generation)
 
     def _on_wake(self, generation: int) -> None:
         if generation != self._wake_generation:
             return  # superseded by a later membership change
         self._advance()
+        jobs = self._jobs
         finished: List[Job] = []
         survivors: List[Job] = []
-        rates = self.rates(self._jobs) if self._jobs else {}
-        for job in self._jobs:
-            # A job is done when its residual work is negligible either
-            # relative to its size or in time-to-finish terms (< 1 us).
-            threshold = max(
-                _ABSOLUTE_EPS,
-                job.work * _RELATIVE_EPS,
-                rates[job] * 1e-6,
-            )
-            if job.remaining <= threshold:
-                job.remaining = 0.0
-                finished.append(job)
-            else:
-                survivors.append(job)
+        if jobs:
+            uniform = self.uniform_rate(len(jobs)) if self._uniform_hook else None
+            rates = None if uniform is not None else self.rates(jobs)
+            uniform_eps = 0.0 if uniform is None else uniform * 1e-6
+            for job in jobs:
+                # A job is done when its residual work is negligible either
+                # relative to its size or in time-to-finish terms (< 1 us).
+                threshold = max(
+                    _ABSOLUTE_EPS,
+                    job.work * _RELATIVE_EPS,
+                    uniform_eps if rates is None else rates[job] * 1e-6,
+                )
+                if job.remaining <= threshold:
+                    job.remaining = 0.0
+                    finished.append(job)
+                else:
+                    survivors.append(job)
         self._jobs = survivors
         for job in finished:
             self.stats.jobs_completed += 1
@@ -283,6 +336,9 @@ class CpuResource(FairShareResource):
         per_job = min(1.0, self.cores / len(jobs)) * self.speed_factor
         return {job: per_job for job in jobs}
 
+    def uniform_rate(self, n: int) -> Optional[float]:
+        return min(1.0, self.cores / n) * self.speed_factor
+
     def _occupied(self, active: int) -> float:
         return float(min(active, self.cores))
 
@@ -314,5 +370,4 @@ class LatencyChannel:
     def send(self, handler, message: Any) -> None:
         """Deliver ``message`` to ``handler(message)`` after the latency."""
         self.messages_sent += 1
-        marker = self.sim.timeout(self.latency)
-        marker.add_callback(lambda _e: handler(message))
+        self.sim.call_in(self.latency, handler, message)

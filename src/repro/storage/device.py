@@ -21,7 +21,7 @@ Fig. 5/7) and at high thread counts on SSDs (Fig. 10).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.simulation.core import Event, Simulator
 from repro.simulation.resources import FairShareResource, Job
@@ -146,6 +146,26 @@ class StorageDevice(FairShareResource):
             per_job[job] = aggregate / k
         return per_job
 
+    def uniform_rate(self, n: int) -> Optional[float]:
+        """Scalar rate when every active stream performs the same operation.
+
+        Pure-read and pure-write phases (the common case: a stage's tasks
+        all read input or all spill/write) share one rate, so the kernel
+        skips the per-job dict; mixed read/write sets fall back to
+        :meth:`rates`.
+        """
+        jobs = self._jobs
+        op = jobs[0].attrs.get("op", "read")
+        for job in jobs:
+            if job.attrs.get("op", "read") != op:
+                return None
+        aggregate = (
+            self.profile.rate(op)
+            * self.profile.efficiency(op, n)
+            * self.speed_factor
+        )
+        return aggregate / n
+
     def request(self, size: float, op: str) -> Event:
         """Issue one I/O request: access latency, then bandwidth service.
 
@@ -161,7 +181,7 @@ class StorageDevice(FairShareResource):
         done = self.sim.event()
         latency = self.profile.latency(op) / self.speed_factor
 
-        def start_transfer(_event: Event) -> None:
+        def start_transfer() -> None:
             job = self.submit(size, tag=op, op=op)
             tracer = self.tracer
             if tracer is not None and tracer.enabled:
@@ -173,7 +193,7 @@ class StorageDevice(FairShareResource):
                 )
             job.event.add_callback(lambda _e: done.succeed(size))
 
-        self.sim.timeout(latency).add_callback(start_transfer)
+        self.sim.call_in(latency, start_transfer)
         return done
 
     @property

@@ -1,0 +1,109 @@
+"""Tests for the perf-benchmark engine (repro.harness.bench).
+
+Timing-independent by design: the microbenchmark *programs* are checked
+for correctness (event counts, completion accounting) and the regression
+gate for its comparison logic, but no test asserts on wall-clock rates --
+those belong to ``repro bench`` runs, not the CI test suite.
+"""
+
+import pytest
+
+from repro.harness import bench
+
+
+def _doc(**merits):
+    return {
+        "schema": bench.BENCH_SCHEMA,
+        "benchmarks": {
+            name: {"events_per_sec": value} for name, value in merits.items()
+        },
+    }
+
+
+class TestCheckRegression:
+    def test_equal_docs_pass(self):
+        doc = _doc(kernel=100_000.0)
+        assert bench.check_regression(doc, doc) == []
+
+    def test_drop_beyond_tolerance_fails(self):
+        failures = bench.check_regression(
+            _doc(kernel=70_000.0), _doc(kernel=100_000.0), tolerance=0.25
+        )
+        assert len(failures) == 1
+        assert "kernel" in failures[0]
+
+    def test_drop_within_tolerance_passes(self):
+        assert bench.check_regression(
+            _doc(kernel=80_000.0), _doc(kernel=100_000.0), tolerance=0.25
+        ) == []
+
+    def test_improvement_passes(self):
+        assert bench.check_regression(
+            _doc(kernel=200_000.0), _doc(kernel=100_000.0)
+        ) == []
+
+    def test_new_benchmark_not_gated_retroactively(self):
+        assert bench.check_regression(
+            _doc(kernel=100_000.0, extra=1.0), _doc(kernel=100_000.0)
+        ) == []
+
+    def test_removed_benchmark_ignored(self):
+        assert bench.check_regression(
+            _doc(kernel=100_000.0), _doc(kernel=100_000.0, gone=999.0)
+        ) == []
+
+    def test_runs_per_min_used_when_events_rate_absent(self):
+        current = {"benchmarks": {"sweep": {"events_per_sec": None,
+                                            "runs_per_min": 10.0}}}
+        baseline = {"benchmarks": {"sweep": {"events_per_sec": None,
+                                             "runs_per_min": 100.0}}}
+        failures = bench.check_regression(current, baseline)
+        assert len(failures) == 1 and "sweep" in failures[0]
+
+
+class TestKernelPrograms:
+    def test_terasort_kernel_run_counts_events(self):
+        events = bench._terasort_kernel_run(num_nodes=2, tasks_per_node=4,
+                                            waves=2)
+        # Lower bound: every task needs >= 6 I/O + 1 CPU + 1 message, each
+        # at least one queue entry, plus process bootstraps.
+        assert events > 2 * 4 * 2 * 8
+
+    def test_terasort_kernel_run_is_deterministic(self):
+        first = bench._terasort_kernel_run(2, 4, 2)
+        second = bench._terasort_kernel_run(2, 4, 2)
+        assert first == second
+
+    def test_storm_run_counts_events(self):
+        events = bench._storm_run(processes=10, hops=5)
+        # Each hop is one timeout + one resume bookkeeping entry at minimum.
+        assert events >= 10 * 5
+
+    def test_timed_returns_best_of_n(self):
+        calls = []
+
+        def fake():
+            calls.append(1)
+            return 42
+
+        events, wall = bench._timed(fake, repeats=3)
+        assert events == 42
+        assert len(calls) == 3
+        assert wall >= 0.0
+
+
+class TestSuiteShape:
+    def test_smoke_suite_document(self):
+        doc = bench.run_suite(smoke=True, parallel=1)
+        assert doc["schema"] == bench.BENCH_SCHEMA
+        assert doc["mode"] == "smoke"
+        expected = {"kernel_terasort", "kernel_storm", "e2e_terasort",
+                    "e2e_pagerank", "sweep"}
+        assert set(doc["benchmarks"]) == expected
+        for name in expected - {"sweep"}:
+            assert doc["benchmarks"][name]["events_per_sec"] > 0
+        sweep = doc["benchmarks"]["sweep"]
+        assert sweep["points"] == 8
+        assert sweep["runs_per_min"] > 0
+        # The suite gates against itself: a doc never regresses vs itself.
+        assert bench.check_regression(doc, doc) == []
