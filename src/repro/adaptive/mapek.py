@@ -305,6 +305,9 @@ class AdaptiveControlLoop:
                 tasks=reading.tasks_completed,
             )
         decision = self.analyzer.analyze(reading)
+        inv = ctx.invariants
+        if inv is not None:
+            inv.on_mapek_decision(self, decision)
         zeta = self.knowledge.history[-1].congestion
         if tracer.enabled:
             # ζ = inf (zero-throughput interval) would be invalid JSON;

@@ -29,8 +29,16 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.faults.plan import CANNED_PLANS, FaultPlan
-from repro.harness.parallel import RunConfig, map_runs, resolve_parallel
+from repro.atomicio import atomic_write_json
+from repro.faults.plan import CANNED_PLANS, FaultPlan, FaultPlanError
+from repro.harness.parallel import (
+    QuarantinedConfigError,
+    RunConfig,
+    SweepInterrupted,
+    map_runs,
+    map_runs_durable,
+    resolve_parallel,
+)
 from repro.harness.report import render_table
 from repro.harness.runner import (
     derive_bestfit,
@@ -62,6 +70,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--policy", choices=POLICY_CHOICES, default="default")
     run.add_argument("--threads", type=int, default=8,
                      help="thread count for static/fixed policies")
+    run.add_argument("--validate", action="store_true",
+                     help="check engine invariants continuously during the "
+                          "run (exit 1 on any violation)")
 
     compare = sub.add_parser(
         "compare", help="default vs static BestFit vs dynamic (Fig. 8)"
@@ -74,6 +85,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _common_args(sweep)
     _parallel_arg(sweep)
+    sweep.add_argument("--journal", metavar="PATH", default=None,
+                       help="journal each finished point to PATH "
+                            "(crash-safe; see --resume)")
+    sweep.add_argument("--resume", action="store_true",
+                       help="skip points already journaled under --journal")
+    sweep.add_argument("--run-timeout", type=float, default=None,
+                       metavar="SECS",
+                       help="watchdog: kill and retry a point that runs "
+                            "longer than SECS wall-clock seconds")
+    sweep.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                       help="attempts per point before quarantine "
+                            "(default 3; needs --journal to persist)")
+    sweep.add_argument("--stop-after", type=int, default=None, metavar="N",
+                       help="stop (exit 3) after N newly computed points; "
+                            "for testing crash/resume behaviour")
 
     bench = sub.add_parser(
         "bench", help="kernel/e2e/sweep performance suite (see PERFORMANCE.md)"
@@ -129,6 +155,21 @@ def build_parser() -> argparse.ArgumentParser:
     history.add_argument("--json", action="store_true",
                          help="emit the report as JSON instead of tables")
 
+    validate = sub.add_parser(
+        "validate",
+        help="replay an event log through the engine invariant checkers",
+    )
+    validate.add_argument("eventlog", help="JSONL event log from --events")
+    validate.add_argument("--max-failures", type=int, default=4,
+                          metavar="N",
+                          help="spark.task.maxFailures for the retry-budget "
+                               "check (default 4)")
+    validate.add_argument("--strict", action="store_true",
+                          help="hold the log to fault-free invariants even "
+                               "if it contains fault events")
+    validate.add_argument("--json", action="store_true",
+                          help="emit the report as JSON instead of text")
+
     sub.add_parser("list", help="list available workloads")
     return parser
 
@@ -183,7 +224,10 @@ def _run_kwargs(args):
         workload_kwargs={"scale": args.scale},
     )
     if getattr(args, "faults", None):
-        kwargs["fault_plan"] = FaultPlan.load(args.faults)
+        try:
+            kwargs["fault_plan"] = FaultPlan.load(args.faults)
+        except FileNotFoundError:
+            raise FaultPlanError(f"no such file: {args.faults}") from None
     return kwargs
 
 
@@ -240,10 +284,21 @@ def cmd_list(_args) -> int:
 
 def cmd_run(args) -> int:
     tracer = _build_tracer(args)
+    monitor = None
+    if args.validate:
+        from repro.validation import InvariantMonitor
+
+        monitor = InvariantMonitor(mode="collect")
     run = run_workload(args.workload, policy=_policy_spec(args),
-                       tracer=tracer, **_run_kwargs(args))
+                       tracer=tracer, invariants=monitor, **_run_kwargs(args))
     if tracer is not None:
         finish_trace(run)
+    if monitor is not None:
+        # stderr, so --json output on stdout stays machine-parseable.
+        report = monitor.finish()
+        print(f"invariants: {report.summary()}", file=sys.stderr)
+        if not report.ok:
+            return 1
     if args.json:
         payload = {
             "command": "run",
@@ -273,8 +328,52 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _run_sweep_durable(args, thread_counts) -> dict:
+    """A journaled (crash-safe, resumable) sweep; see ``map_runs_durable``."""
+    from repro.harness.journal import SweepJournal
+
+    kwargs = _run_kwargs(args)
+    fault_plan = kwargs.pop("fault_plan", None)
+    workload_kwargs = kwargs.pop("workload_kwargs", {})
+    configs = [
+        RunConfig(
+            workload=args.workload,
+            policy=("static", threads),
+            key=threads,
+            workload_kwargs=workload_kwargs,
+            cluster_kwargs=kwargs,
+            fault_plan_doc=fault_plan.to_dict() if fault_plan else None,
+            events_path=(
+                _suffix_path(args.events, f"t{threads}")
+                if args.events else None
+            ),
+            trace_path=(
+                _suffix_path(args.trace, f"t{threads}")
+                if args.trace else None
+            ),
+        )
+        for threads in thread_counts
+    ]
+    journal = SweepJournal(args.journal) if args.journal else None
+    summaries = map_runs_durable(
+        configs,
+        parallel=resolve_parallel(args.parallel),
+        journal=journal,
+        resume=args.resume,
+        timeout=args.run_timeout,
+        max_attempts=args.max_attempts,
+        stop_after=args.stop_after,
+    )
+    return {summary.key: summary for summary in summaries
+            if summary is not None}
+
+
 def _run_sweep(args, thread_counts) -> dict:
     """Dispatch a static sweep sequentially or over worker processes."""
+    if (getattr(args, "journal", None) or getattr(args, "resume", False)
+            or getattr(args, "run_timeout", None) is not None
+            or getattr(args, "stop_after", None) is not None):
+        return _run_sweep_durable(args, thread_counts)
     parallel = resolve_parallel(args.parallel)
     if parallel > 1:
         return static_sweep(
@@ -418,7 +517,10 @@ def cmd_compare(args) -> int:
 
 def cmd_faults(args) -> int:
     if args.faults_command == "show":
-        plan = FaultPlan.load(args.plan)  # load() validates
+        try:
+            plan = FaultPlan.load(args.plan)  # load() validates
+        except FileNotFoundError:
+            raise FaultPlanError(f"no such file: {args.plan}") from None
         counts = {
             "task_crashes": len(plan.task_crashes),
             "executor_losses": len(plan.executor_losses),
@@ -472,9 +574,7 @@ def cmd_bench(args) -> int:
     from repro.harness.bench import check_regression, run_suite
 
     doc = run_suite(smoke=args.smoke, parallel=args.parallel)
-    with open(args.out, "w", encoding="utf-8") as handle:
-        json.dump(doc, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    atomic_write_json(args.out, doc)
     rows = []
     for name, result in sorted(doc["benchmarks"].items()):
         merit = result.get("events_per_sec") or result.get("runs_per_min") or 0
@@ -496,9 +596,7 @@ def cmd_bench(args) -> int:
             print(f"\nbelow baseline on first pass, re-measuring: "
                   f"{'; '.join(failures)}", file=sys.stderr)
             doc = run_suite(smoke=args.smoke, parallel=args.parallel)
-            with open(args.out, "w", encoding="utf-8") as handle:
-                json.dump(doc, handle, indent=2, sort_keys=True)
-                handle.write("\n")
+            atomic_write_json(args.out, doc)
             failures = check_regression(doc, baseline,
                                         tolerance=args.tolerance)
         if failures:
@@ -514,6 +612,10 @@ def cmd_bench(args) -> int:
 def cmd_history(args) -> int:
     try:
         events = load_events(args.eventlog)
+    except FileNotFoundError:
+        print(f"cannot read event log: no such file: {args.eventlog}",
+              file=sys.stderr)
+        return 2
     except OSError as exc:
         print(f"cannot read event log: {exc}", file=sys.stderr)
         return 1
@@ -574,6 +676,30 @@ def cmd_history(args) -> int:
     return 0
 
 
+def cmd_validate(args) -> int:
+    from repro.validation import validate_events
+
+    try:
+        events = load_events(args.eventlog)
+    except FileNotFoundError:
+        print(f"error: no such event log: {args.eventlog}", file=sys.stderr)
+        return 2
+    except (OSError, ValueError) as exc:
+        # Unreadable file or not a repro.trace/1 event log.
+        print(f"error: cannot replay {args.eventlog}: {exc}", file=sys.stderr)
+        return 2
+    report = validate_events(
+        events,
+        max_failures=args.max_failures,
+        strict=True if args.strict else None,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
 COMMANDS = {
     "list": cmd_list,
     "run": cmd_run,
@@ -582,6 +708,7 @@ COMMANDS = {
     "faults": cmd_faults,
     "bench": cmd_bench,
     "history": cmd_history,
+    "validate": cmd_validate,
 }
 
 
@@ -593,6 +720,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Reader went away (e.g. | head); exit quietly like other CLIs.
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
+    except SweepInterrupted as exc:
+        print(f"sweep interrupted: {exc}", file=sys.stderr)
+        return 3
+    except QuarantinedConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FaultPlanError as exc:
+        # Malformed or unknown-schema fault plan: a usage error, not a crash.
+        print(f"error: invalid fault plan: {exc}", file=sys.stderr)
+        return 2
     except OSError as exc:
         # Unwritable --events/--trace path, unreadable log, and friends.
         print(f"error: {exc}", file=sys.stderr)

@@ -47,10 +47,14 @@ class SparkContext:
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
         fault_plan=None,
+        invariants=None,
     ) -> None:
         #: Set before anything else: executors read ``ctx.faults`` on their
         #: hot path, and ``None`` means every fault branch is skipped.
         self.faults = None
+        #: Same contract for the invariant monitor: engine hook sites check
+        #: ``ctx.invariants is not None`` and otherwise cost nothing.
+        self.invariants = None
         self.cluster = cluster if cluster is not None else Cluster(ClusterSpec())
         self.sim = self.cluster.sim
         self.streams = self.cluster.streams
@@ -62,6 +66,10 @@ class SparkContext:
         self.recorder = RunRecorder()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        if invariants is not None:
+            # Before _wire_tracer, so the monitor's sink observes the
+            # application-start instant (it carries the cluster geometry).
+            invariants.bind(self)
         if self.tracer.enabled:
             self._wire_tracer()
         # Imported here to avoid a package-level cycle: repro.monitoring

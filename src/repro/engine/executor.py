@@ -109,6 +109,9 @@ class Executor:
     def _apply_pool_size(self, size: int, reason: str) -> None:
         size = max(1, min(int(size), self.node.cores))
         self.pool_size = size
+        inv = self.ctx.invariants
+        if inv is not None:
+            inv.on_pool_resize(self, size, reason)
         if self._record is not None:
             self._record.pool_events.append(
                 PoolEvent(
@@ -191,6 +194,9 @@ class Executor:
         if self._procs.pop(key, None) is None:
             return False
         self.running -= 1
+        inv = self.ctx.invariants
+        if inv is not None:
+            inv.on_executor_cleanup(self)
         return True
 
     def _run_task(self, task: Task, attempt: int = 0, speculative: bool = False):

@@ -270,6 +270,9 @@ class TaskScheduler:
             speculative=speculative,
         )
         self._assigned[executor.executor_id] += 1
+        inv = self.ctx.invariants
+        if inv is not None:
+            inv.on_task_launched(self, executor.executor_id)
         self.channel.send(
             executor.launch_task, TaskAttempt(task, attempt, speculative)
         )
@@ -302,6 +305,9 @@ class TaskScheduler:
                     launch_time=self.ctx.sim.now,
                 )
                 self._assigned[executor_id] += 1
+                inv = self.ctx.invariants
+                if inv is not None:
+                    inv.on_task_launched(self, executor_id)
                 self.channel.send(executor.launch_task, TaskAttempt(task, attempt))
                 self.ctx.metrics.counter("faults.recovery_tasks").inc()
                 progress = True
@@ -314,6 +320,9 @@ class TaskScheduler:
             if not executor.alive:
                 return
             self._pool_view[message.executor_id] = message.pool_size
+            inv = self.ctx.invariants
+            if inv is not None:
+                inv.on_pool_view_update(self, message.executor_id)
             tracer = self.ctx.tracer
             if tracer.enabled:
                 tracer.instant(
@@ -803,6 +812,11 @@ class TaskScheduler:
         return False
 
     def _finish_stage(self, run: _StageRun) -> None:
+        inv = self.ctx.invariants
+        if inv is not None:
+            # The quiescent point: no work in flight, no messages pending,
+            # so the free-core registry must agree with the executors.
+            inv.on_stage_quiescent(self, run)
         run.record.close(self.ctx.sim.now)
         if run.trace_span >= 0:
             self.ctx.tracer.end(run.trace_span,

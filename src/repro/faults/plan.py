@@ -307,8 +307,9 @@ class FaultPlan:
             return cls.from_json(handle.read())
 
     def save(self, path: str) -> None:
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(self.to_json() + "\n")
+        from repro.atomicio import atomic_write_text
+
+        atomic_write_text(path, self.to_json() + "\n")
 
 
 # -- canned plans (CLI ``repro faults generate``) ------------------------------------

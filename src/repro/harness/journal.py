@@ -1,0 +1,132 @@
+"""Crash-safe sweep journal: completed runs survive a killed harness.
+
+A sweep writes one journal entry per finished point (the full serialised
+:class:`~repro.harness.parallel.RunSummary`), so a harness killed halfway
+-- OOM, ctrl-C, a flaky node -- can ``--resume`` and recompute only the
+missing points.  Every append rewrites the whole file through
+write-temp/fsync/rename (:func:`repro.atomicio.atomic_write_text`): the
+journal on disk is always a complete, parseable document, never a torn
+line.  A truncated trailing line (a crash mid-write on a filesystem
+without atomic rename semantics) is tolerated on load and simply dropped.
+
+Resume keys on a **fingerprint** of the full :class:`RunConfig` -- the
+workload, policy, seed, conf and fault plan -- so a journal can never
+replay a stale result for a config that changed in any way.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from typing import Any, Dict, Optional
+
+from repro.atomicio import atomic_write_text
+
+JOURNAL_SCHEMA = "repro.journal/1"
+
+
+def config_fingerprint(config) -> str:
+    """Content hash of everything that determines a run's result."""
+    doc = dataclasses.asdict(config)
+    canonical = json.dumps(doc, sort_keys=True, separators=(",", ":"),
+                           default=repr)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class JournalError(ValueError):
+    """The journal file exists but is not a journal we can trust."""
+
+
+class SweepJournal:
+    """One sweep's durable progress record (JSONL, atomically rewritten)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        #: fingerprint -> serialised RunSummary document
+        self.runs: Dict[str, Dict[str, Any]] = {}
+        #: fingerprint -> quarantine record (attempts, last failure)
+        self.quarantined: Dict[str, Dict[str, Any]] = {}
+        self._load()
+
+    # -- persistence --------------------------------------------------------------
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError:
+                if lineno == len(lines):
+                    break  # torn trailing line from a mid-write crash
+                raise JournalError(
+                    f"{self.path}:{lineno}: corrupt journal line"
+                )
+            kind = doc.get("kind")
+            if lineno == 1:
+                if kind != "meta" or doc.get("schema") != JOURNAL_SCHEMA:
+                    raise JournalError(
+                        f"{self.path} is not a {JOURNAL_SCHEMA} journal "
+                        f"(got {doc.get('schema')!r})"
+                    )
+                continue
+            if kind == "run":
+                self.runs[doc["fingerprint"]] = doc["summary"]
+            elif kind == "quarantine":
+                self.quarantined[doc["fingerprint"]] = doc
+            else:
+                raise JournalError(
+                    f"{self.path}:{lineno}: unknown journal entry kind "
+                    f"{kind!r}"
+                )
+
+    def _persist(self) -> None:
+        lines = [json.dumps({"kind": "meta", "schema": JOURNAL_SCHEMA},
+                            sort_keys=True, separators=(",", ":"))]
+        for fingerprint, summary in self.runs.items():
+            lines.append(json.dumps(
+                {"kind": "run", "fingerprint": fingerprint,
+                 "summary": summary},
+                sort_keys=True, separators=(",", ":"),
+            ))
+        for doc in self.quarantined.values():
+            lines.append(json.dumps(doc, sort_keys=True,
+                                    separators=(",", ":")))
+        atomic_write_text(self.path, "\n".join(lines) + "\n")
+
+    # -- recording ----------------------------------------------------------------
+
+    def record_run(self, fingerprint: str,
+                   summary_doc: Dict[str, Any]) -> None:
+        """Journal one finished point; durable once this returns."""
+        self.runs[fingerprint] = summary_doc
+        self.quarantined.pop(fingerprint, None)
+        self._persist()
+
+    def record_quarantine(self, fingerprint: str, attempts: int,
+                          reason: str) -> None:
+        """Mark a config as repeatedly failing; resume will not retry it."""
+        self.quarantined[fingerprint] = {
+            "kind": "quarantine",
+            "fingerprint": fingerprint,
+            "attempts": attempts,
+            "reason": reason,
+        }
+        self._persist()
+
+    # -- queries ------------------------------------------------------------------
+
+    def get_run(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        return self.runs.get(fingerprint)
+
+    def get_quarantine(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        return self.quarantined.get(fingerprint)
+
+    def __len__(self) -> int:
+        return len(self.runs)

@@ -21,7 +21,10 @@ is also the fallback for the interactive default.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
@@ -163,3 +166,272 @@ def map_runs(configs: List[RunConfig], parallel: int = 1) -> List[RunSummary]:
     workers = min(parallel, len(configs))
     with ProcessPoolExecutor(max_workers=workers) as pool:
         return list(pool.map(execute_run_config, configs))
+
+
+# -- crash-safe execution ---------------------------------------------------------
+
+
+def summary_to_doc(summary: RunSummary) -> Dict[str, Any]:
+    """Serialise a summary for the sweep journal (JSON-safe keys only)."""
+    return {
+        "workload": summary.workload,
+        "key": summary.key,
+        "runtime": summary.runtime,
+        "cluster_io_bytes": summary.cluster_io_bytes,
+        "recorder": summary.recorder.to_dict(),
+    }
+
+
+def summary_from_doc(doc: Dict[str, Any]) -> RunSummary:
+    """Rebuild a journaled summary; floats round-trip exactly through JSON,
+    so aggregates over resumed points match an uninterrupted run bit for
+    bit."""
+    return RunSummary(
+        workload=doc["workload"],
+        key=doc["key"],
+        runtime=doc["runtime"],
+        recorder=RunRecorder.from_dict(doc["recorder"]),
+        cluster_io_bytes=doc.get("cluster_io_bytes", 0.0),
+    )
+
+
+class SweepInterrupted(RuntimeError):
+    """The sweep stopped early (``stop_after``); progress is journaled."""
+
+    def __init__(self, completed: int, total: int) -> None:
+        super().__init__(
+            f"stopped after {completed} new run(s) of {total} point(s); "
+            f"progress is journaled -- rerun with --resume to finish"
+        )
+        self.completed = completed
+        self.total = total
+
+
+class QuarantinedConfigError(RuntimeError):
+    """A config exhausted its retry budget (or was already quarantined)."""
+
+    def __init__(self, config: RunConfig, attempts: int, reason: str) -> None:
+        super().__init__(
+            f"config key={config.key!r} quarantined after {attempts} "
+            f"failed attempt(s): {reason}"
+        )
+        self.config = config
+        self.attempts = attempts
+        self.reason = reason
+
+
+def _durable_worker(index: int, config: RunConfig, queue) -> None:
+    """Worker entry point: always report back, success or failure."""
+    try:
+        summary = execute_run_config(config)
+    except BaseException as exc:  # a worker must never die silently
+        queue.put((index, False, f"{type(exc).__name__}: {exc}"))
+    else:
+        queue.put((index, True, summary))
+
+
+class _Attempt:
+    """One config's position in the retry state machine."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.failures = 0
+        self.ready_at = 0.0  # wall-clock time the next attempt may start
+        self.last_reason = ""
+
+
+def map_runs_durable(
+    configs: List[RunConfig],
+    parallel: int = 1,
+    journal=None,
+    resume: bool = False,
+    timeout: Optional[float] = None,
+    max_attempts: int = 3,
+    backoff: float = 0.5,
+    stop_after: Optional[int] = None,
+    allow_quarantine: bool = False,
+) -> List[Optional[RunSummary]]:
+    """:func:`map_runs` with a crash-safe journal around every point.
+
+    * Each finished run is journaled atomically before the next one starts,
+      so a killed sweep loses at most the points in flight.
+    * With ``resume=True``, configs whose fingerprint is already journaled
+      are **not** re-run; their summaries are rebuilt from the journal and
+      the aggregate output is byte-identical to an uninterrupted run.
+    * ``timeout`` arms a per-run watchdog: a worker that exceeds it is
+      killed and counted as a failure.
+    * Failures (crash or timeout) are retried with bounded exponential
+      backoff (``backoff * 2**(failures-1)`` seconds, up to
+      ``max_attempts`` attempts); a config that keeps failing is
+      quarantined in the journal and raises :class:`QuarantinedConfigError`
+      unless ``allow_quarantine`` is set, in which case its slot in the
+      result list is ``None``.
+    * ``stop_after`` ends the sweep after that many *new* completions by
+      raising :class:`SweepInterrupted` (the CI resume smoke test's hook
+      for "kill the sweep mid-flight").
+
+    Results come back in config order.  The watchdog needs real worker
+    processes, so ``timeout`` requires ``parallel >= 1`` workers even for a
+    sequential sweep; without a timeout and with ``parallel <= 1``
+    everything runs in-process exactly like :func:`map_runs`.
+    """
+    from repro.harness.journal import config_fingerprint
+
+    configs = list(configs)
+    if max_attempts < 1:
+        raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+    fingerprints = [config_fingerprint(config) for config in configs]
+    results: List[Optional[RunSummary]] = [None] * len(configs)
+    pending: List[int] = []
+    for index, fingerprint in enumerate(fingerprints):
+        # Explicit None checks: the journal's __len__ counts successful
+        # runs, so an empty-but-present journal is falsy.
+        journaled = (journal.get_run(fingerprint)
+                     if journal is not None else None)
+        if resume and journaled is not None:
+            results[index] = summary_from_doc(journaled)
+            continue
+        quarantined = (journal.get_quarantine(fingerprint)
+                       if journal is not None else None)
+        if resume and quarantined is not None:
+            if not allow_quarantine:
+                raise QuarantinedConfigError(
+                    configs[index], quarantined.get("attempts", 0),
+                    quarantined.get("reason", "quarantined"),
+                )
+            continue
+        pending.append(index)
+
+    completed_new = 0
+
+    def _record(index: int, summary: RunSummary) -> None:
+        nonlocal completed_new
+        results[index] = summary
+        if journal is not None:
+            journal.record_run(fingerprints[index], summary_to_doc(summary))
+        completed_new += 1
+        if stop_after is not None and completed_new >= stop_after:
+            raise SweepInterrupted(completed_new, len(configs))
+
+    def _quarantine(index: int, attempts: int, reason: str) -> None:
+        if journal is not None:
+            journal.record_quarantine(fingerprints[index], attempts, reason)
+        if not allow_quarantine:
+            raise QuarantinedConfigError(configs[index], attempts, reason)
+
+    if timeout is None and parallel <= 1:
+        # In-process fast path: same execution as map_runs/sequential
+        # sweeps, so resumed aggregates can be compared byte for byte.
+        for index in pending:
+            failures = 0
+            while True:
+                try:
+                    summary = execute_run_config(configs[index])
+                except SweepInterrupted:
+                    raise
+                except Exception as exc:
+                    failures += 1
+                    reason = f"{type(exc).__name__}: {exc}"
+                    if failures >= max_attempts:
+                        _quarantine(index, failures, reason)
+                        break
+                    time.sleep(min(backoff * (2.0 ** (failures - 1)), 30.0))
+                else:
+                    _record(index, summary)
+                    break
+        return results
+
+    _run_worker_pool(
+        configs, pending, max(1, parallel), timeout, max_attempts, backoff,
+        _record, _quarantine,
+    )
+    return results
+
+
+def _run_worker_pool(configs, pending, parallel, timeout, max_attempts,
+                     backoff, record, quarantine) -> None:
+    """Watchdogged worker-process pool with retry/backoff scheduling."""
+    queue: Any = multiprocessing.Queue()
+    waiting = deque(_Attempt(index) for index in pending)
+    running: Dict[int, tuple] = {}  # index -> (process, deadline, attempt)
+    resolved: set = set()
+
+    def _drain() -> List[tuple]:
+        messages = []
+        while True:
+            try:
+                messages.append(queue.get_nowait())
+            except Exception:
+                return messages
+
+    def _handle(messages: List[tuple]) -> None:
+        for index, ok, payload in messages:
+            entry = running.pop(index, None)
+            if entry is None or index in resolved:
+                continue  # stale result from a worker we already killed
+            process, _deadline, attempt = entry
+            process.join()
+            if ok:
+                resolved.add(index)
+                record(index, payload)
+            else:
+                _failed(attempt, str(payload))
+
+    def _failed(attempt: _Attempt, reason: str) -> None:
+        attempt.failures += 1
+        attempt.last_reason = reason
+        if attempt.failures >= max_attempts:
+            resolved.add(attempt.index)
+            quarantine(attempt.index, attempt.failures, reason)
+            return
+        delay = min(backoff * (2.0 ** (attempt.failures - 1)), 30.0)
+        attempt.ready_at = time.monotonic() + delay
+        waiting.append(attempt)
+
+    try:
+        while waiting or running:
+            _handle(_drain())
+            now = time.monotonic()
+            for index, (process, deadline, attempt) in list(running.items()):
+                if index in resolved or index not in running:
+                    continue
+                if deadline is not None and now >= deadline:
+                    process.kill()
+                    process.join()
+                    running.pop(index, None)
+                    _failed(attempt, f"timed out after {timeout:.1f}s")
+                elif process.exitcode is not None:
+                    # Dead without (yet) a result: give the queue's feeder
+                    # thread one more chance to deliver before declaring a
+                    # crash.
+                    _handle(_drain())
+                    if index in running and index not in resolved:
+                        running.pop(index, None)
+                        _failed(
+                            attempt,
+                            f"worker died with exit code {process.exitcode}",
+                        )
+            now = time.monotonic()
+            launched = False
+            for _ in range(len(waiting)):
+                if len(running) >= parallel:
+                    break
+                attempt = waiting.popleft()
+                if attempt.ready_at > now:
+                    waiting.append(attempt)  # still backing off; rotate
+                    continue
+                process = multiprocessing.Process(
+                    target=_durable_worker,
+                    args=(attempt.index, configs[attempt.index], queue),
+                )
+                process.start()
+                deadline = now + timeout if timeout is not None else None
+                running[attempt.index] = (process, deadline, attempt)
+                launched = True
+            if (waiting or running) and not launched:
+                time.sleep(0.01)
+    finally:
+        for process, _deadline, _attempt in running.values():
+            if process.is_alive():
+                process.kill()
+            process.join()

@@ -5,6 +5,8 @@ from __future__ import annotations
 import os
 from typing import Iterable, List, Optional, Sequence
 
+from repro.atomicio import atomic_write_text
+
 RESULTS_DIR = os.environ.get(
     "REPRO_RESULTS_DIR",
     os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
@@ -56,8 +58,7 @@ def write_result(name: str, content: str,
     directory = directory or RESULTS_DIR
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, f"{name}.txt")
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(content.rstrip() + "\n")
+    atomic_write_text(path, content.rstrip() + "\n")
     return path
 
 

@@ -85,6 +85,7 @@ def build_context(
     conf_overrides: Optional[Dict[str, Any]] = None,
     tracer: Optional[Tracer] = None,
     fault_plan=None,
+    invariants=None,
     **cluster_kwargs: Any,
 ) -> SparkContext:
     if cluster is None:
@@ -98,6 +99,7 @@ def build_context(
         policy_factory=make_policy_factory(policy),
         tracer=tracer,
         fault_plan=fault_plan,
+        invariants=invariants,
     )
 
 
@@ -108,6 +110,7 @@ def run_workload(
     workload_kwargs: Optional[Dict[str, Any]] = None,
     tracer: Optional[Tracer] = None,
     fault_plan=None,
+    invariants=None,
     **cluster_kwargs: Any,
 ) -> WorkloadRun:
     """One fresh context, one workload run.
@@ -115,14 +118,17 @@ def run_workload(
     A ``tracer`` (if given) is wired through the whole stack; the caller
     keeps ownership and decides when to :meth:`~Tracer.close` it.  A
     ``fault_plan`` (:class:`repro.faults.FaultPlan`) turns the run into a
-    chaos experiment; see FAULTS.md.
+    chaos experiment; see FAULTS.md.  An ``invariants`` monitor
+    (:class:`repro.validation.InvariantMonitor`) checks engine invariants
+    continuously; call its :meth:`finish` after the run for the report.
     """
     if isinstance(workload, str):
         workload = get_workload(workload, **(workload_kwargs or {}))
     elif workload_kwargs:
         raise ValueError("workload_kwargs only apply when passing a name")
     ctx = build_context(policy=policy, conf_overrides=conf_overrides,
-                        tracer=tracer, fault_plan=fault_plan, **cluster_kwargs)
+                        tracer=tracer, fault_plan=fault_plan,
+                        invariants=invariants, **cluster_kwargs)
     return workload.run(ctx)
 
 

@@ -349,6 +349,11 @@ class Simulator:
         #: read instead of two attribute lookups.  Captured when the tracer
         #: is wired; embedders must not toggle ``tracer.enabled`` afterwards.
         self.trace_enabled = False
+        #: Set by :class:`repro.validation.InvariantMonitor`: re-verify on
+        #: every :meth:`step` that the popped event does not move the clock
+        #: backwards (the heap ordering normally guarantees this; the guard
+        #: catches a corrupted queue or a mutated ``_now``).
+        self.monotonic_guard = False
 
     @property
     def now(self) -> float:
@@ -425,6 +430,11 @@ class Simulator:
     def step(self) -> None:
         """Process the next scheduled event (or deferred call)."""
         when, _seq, event = heapq.heappop(self._queue)
+        if self.monotonic_guard and when < self._now:
+            raise SimulationError(
+                f"simulated clock ran backwards: popped event at {when} "
+                f"with the clock already at {self._now}"
+            )
         self._now = when
         if type(event) is _DeferredCall:
             event.fn(*event.args)

@@ -1,0 +1,29 @@
+"""Runtime invariant guard and offline event-log validation.
+
+The engine's correctness rests on invariants no unit test can watch
+continuously: the simulated clock never runs backwards, every launched task
+is accounted for, the scheduler's free-core registry tracks the executor
+pools through every resize and rollback (paper §4.2), MAPE-K only makes
+legal hill-climb/rollback transitions, and shuffle-output accounting
+survives node loss.  :class:`InvariantMonitor` checks all of these during a
+run; :func:`validate_events` replays a recorded JSONL event log through the
+same checkers offline (the ``repro validate`` command).
+"""
+
+from repro.validation.checkers import CheckContext, run_checkers
+from repro.validation.monitor import InvariantMonitor, validate_events
+from repro.validation.report import (
+    InvariantViolationError,
+    ValidationReport,
+    Violation,
+)
+
+__all__ = [
+    "CheckContext",
+    "InvariantMonitor",
+    "InvariantViolationError",
+    "ValidationReport",
+    "Violation",
+    "run_checkers",
+    "validate_events",
+]

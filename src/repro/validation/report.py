@@ -1,0 +1,96 @@
+"""Structured invariant-violation reports.
+
+A :class:`Violation` pins one broken invariant to a point on the simulated
+timeline with enough context to act on it (which executor, which stage,
+the counts that disagreed).  A :class:`ValidationReport` accumulates them
+over a run or an offline replay, plus how many individual checks passed,
+so "clean" means "checked and found nothing", not "nothing looked".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant, with where and why."""
+
+    invariant: str  #: dotted id, e.g. ``scheduler.registry``
+    message: str  #: human-actionable one-liner
+    ts: float = 0.0  #: simulated time at detection
+    seq: int = -1  #: event sequence number (offline replays; -1 live)
+    context: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        where = f"t={self.ts:.3f}"
+        if self.seq >= 0:
+            where += f" seq={self.seq}"
+        extra = ""
+        if self.context:
+            pairs = " ".join(
+                f"{key}={value}" for key, value in sorted(self.context.items())
+            )
+            extra = f" [{pairs}]"
+        return f"{self.invariant} @ {where}: {self.message}{extra}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "invariant": self.invariant,
+            "message": self.message,
+            "ts": self.ts,
+            "seq": self.seq,
+            "context": dict(self.context),
+        }
+
+
+class InvariantViolationError(RuntimeError):
+    """Raised by a monitor in ``raise`` mode at the first violation."""
+
+    def __init__(self, violation: Violation) -> None:
+        super().__init__(violation.render())
+        self.violation = violation
+
+
+@dataclass
+class ValidationReport:
+    """Everything one validation pass found (and how hard it looked)."""
+
+    violations: List[Violation] = field(default_factory=list)
+    events_seen: int = 0
+    checks_run: int = 0
+    strict: bool = True
+    #: Called with each violation as it is added (the monitor's raise/log
+    #: modes hook in here); ``None`` just collects.
+    listener: Optional[Callable[[Violation], None]] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, violation: Violation) -> None:
+        self.violations.append(violation)
+        if self.listener is not None:
+            self.listener(violation)
+
+    def summary(self) -> str:
+        mode = "strict" if self.strict else "fault-tolerant"
+        head = (
+            f"{self.events_seen} events, {self.checks_run} checks ({mode}), "
+            f"{len(self.violations)} violation(s)"
+        )
+        if self.ok:
+            return f"OK: {head}"
+        lines = [f"FAIL: {head}"]
+        lines.extend(f"  {violation.render()}" for violation in self.violations)
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "events_seen": self.events_seen,
+            "checks_run": self.checks_run,
+            "strict": self.strict,
+            "violations": [v.to_dict() for v in self.violations],
+        }

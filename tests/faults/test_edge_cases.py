@@ -1,0 +1,141 @@
+"""Fault-injector edge cases: boundary times, duplicate faults, total
+crash rates, and overlapping fault kinds.
+
+Each scenario must either finish with correct sorted output or abort
+cleanly -- and the ones that finish must also replay invariant-clean
+through the offline validator, since weird fault interleavings are
+exactly where engine bookkeeping rots."""
+
+import pytest
+
+from repro.engine.scheduler import JobAbortedError
+from repro.faults import (
+    DiskDegrade,
+    ExecutorLoss,
+    FaultPlan,
+    NodeLoss,
+    TaskCrashRate,
+)
+from repro.observability.history import load_events
+from repro.observability.sinks import JsonLinesSink
+from repro.observability.tracer import Tracer
+from repro.validation import validate_events
+from tests.faults.conftest import run_small_terasort, sorted_output_keys
+
+
+def _assert_sorted_output(ctx, workload):
+    keys = sorted_output_keys(ctx, workload)
+    assert keys == sorted(keys) and len(keys) == 200
+
+
+class TestFaultAtTimeZero:
+    def test_node_loss_at_t0_still_completes(self):
+        plan = FaultPlan(node_losses=[NodeLoss(node_id=1, at=0.0)])
+        ctx, workload = run_small_terasort(plan)
+        _assert_sorted_output(ctx, workload)
+        assert ctx.metrics.counter("faults.node_losses").value == 1
+        # The whole job ran on the surviving node's executor.
+        assert ctx.executors[1].alive is False
+
+    def test_executor_loss_at_t0_still_completes(self):
+        plan = FaultPlan(executor_losses=[ExecutorLoss(executor_id=1, at=0.0)])
+        ctx, workload = run_small_terasort(plan)
+        _assert_sorted_output(ctx, workload)
+        assert ctx.metrics.counter("faults.executor_losses").value == 1
+
+
+class TestDuplicateNodeLoss:
+    def test_second_loss_of_same_node_is_a_noop(self):
+        plan = FaultPlan(node_losses=[
+            NodeLoss(node_id=1, at=0.10),
+            NodeLoss(node_id=1, at=0.12),
+        ])
+        ctx, workload = run_small_terasort(plan)
+        _assert_sorted_output(ctx, workload)
+        # Only the first loss takes effect; the dead node stays dead.
+        assert ctx.metrics.counter("faults.node_losses").value == 1
+
+    def test_duplicate_loss_timeline_matches_single_loss(self):
+        single = FaultPlan(node_losses=[NodeLoss(node_id=1, at=0.10)])
+        double = FaultPlan(node_losses=[
+            NodeLoss(node_id=1, at=0.10),
+            NodeLoss(node_id=1, at=0.12),
+        ])
+        ctx_single, _ = run_small_terasort(single)
+        ctx_double, _ = run_small_terasort(double)
+        assert ctx_single.total_runtime == ctx_double.total_runtime
+
+
+class TestTotalCrashRate:
+    def test_crash_rate_one_exhausts_max_failures_and_aborts(self):
+        # probability=1.0 with an uncapped budget crashes every attempt,
+        # including retries, so some partition must hit maxFailures.
+        plan = FaultPlan(crash_rate=TaskCrashRate(probability=1.0,
+                                                  max_crashes=10_000))
+        with pytest.raises(JobAbortedError) as info:
+            run_small_terasort(plan)
+        assert "maxFailures" in str(info.value)
+
+    def test_abort_is_counted_and_mentions_the_budget(self):
+        from repro.workloads import Terasort
+        from tests.faults.conftest import make_fault_context
+
+        plan = FaultPlan(crash_rate=TaskCrashRate(probability=1.0,
+                                                  max_crashes=10_000))
+        ctx = make_fault_context(plan)
+        workload = Terasort(num_partitions=4)
+        workload.prepare_small(ctx, num_records=200)
+        with pytest.raises(JobAbortedError):
+            workload.execute(ctx)
+        assert ctx.metrics.counter("scheduler.jobs_aborted").value == 1
+        assert ctx.metrics.counter("scheduler.task_failures").value >= 4
+
+
+class TestOverlappingFaults:
+    def test_disk_degrade_overlapping_node_loss(self):
+        # The degraded node dies mid-episode; the episode's end event then
+        # fires against a dead node and must be a clean no-op.
+        plan = FaultPlan(
+            disk_degradations=[
+                DiskDegrade(node_id=1, at=0.05, duration=0.20, factor=0.25)
+            ],
+            node_losses=[NodeLoss(node_id=1, at=0.10)],
+        )
+        ctx, workload = run_small_terasort(plan)
+        _assert_sorted_output(ctx, workload)
+        assert ctx.metrics.counter("faults.disk-degrades").value == 1
+        assert ctx.metrics.counter("faults.node_losses").value == 1
+        # The reciprocal end-of-episode scaling was skipped: the dead
+        # node's disk still carries the degraded factor.
+        assert ctx.cluster.node(1).disk.speed_factor == pytest.approx(0.25)
+
+    def test_degrade_starting_after_node_loss_is_a_noop(self):
+        plan = FaultPlan(
+            node_losses=[NodeLoss(node_id=1, at=0.05)],
+            disk_degradations=[
+                DiskDegrade(node_id=1, at=0.10, duration=0.05, factor=0.25)
+            ],
+        )
+        ctx, workload = run_small_terasort(plan)
+        _assert_sorted_output(ctx, workload)
+        assert ctx.metrics.counter("faults.disk-degrades").value == 0
+        assert ctx.cluster.node(1).disk.speed_factor == pytest.approx(1.0)
+
+
+class TestEdgeCasesStayInvariantClean:
+    @pytest.mark.parametrize("plan", [
+        FaultPlan(node_losses=[NodeLoss(node_id=1, at=0.0)]),
+        FaultPlan(node_losses=[NodeLoss(node_id=1, at=0.10),
+                               NodeLoss(node_id=1, at=0.12)]),
+        FaultPlan(disk_degradations=[
+            DiskDegrade(node_id=1, at=0.05, duration=0.20, factor=0.25)],
+            node_losses=[NodeLoss(node_id=1, at=0.10)]),
+    ], ids=["t0-node-loss", "duplicate-node-loss", "degrade-over-loss"])
+    def test_event_log_replays_clean(self, plan, tmp_path):
+        log_path = str(tmp_path / "events.jsonl")
+        tracer = Tracer(sinks=[JsonLinesSink(log_path)])
+        run_small_terasort(plan, tracer=tracer)
+        tracer.close()
+        report = validate_events(load_events(log_path), max_failures=4)
+        assert report.ok, report.summary()
+        assert not report.strict  # fault events relax to tolerant mode

@@ -1,0 +1,137 @@
+"""Sweep journal: atomic persistence, tolerant loading, exact resume."""
+
+import json
+import os
+
+import pytest
+
+from repro.atomicio import atomic_write_json, atomic_write_text
+from repro.harness.journal import (
+    JOURNAL_SCHEMA,
+    JournalError,
+    SweepJournal,
+    config_fingerprint,
+)
+from repro.harness.parallel import (
+    RunConfig,
+    execute_run_config,
+    summary_from_doc,
+    summary_to_doc,
+)
+
+CONFIG = RunConfig(workload="wordcount", policy=("static", 4), key=4,
+                   workload_kwargs={"scale": 0.02},
+                   cluster_kwargs={"num_nodes": 2, "seed": 42})
+
+
+class TestAtomicWrite:
+    def test_writes_and_replaces(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        atomic_write_json(path, {"a": 1})
+        atomic_write_json(path, {"a": 2})
+        with open(path) as handle:
+            assert json.load(handle) == {"a": 2}
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = str(tmp_path / "doc.txt")
+        atomic_write_text(path, "hello\n")
+        assert os.listdir(tmp_path) == ["doc.txt"]
+
+    def test_failed_serialisation_leaves_target_untouched(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        atomic_write_json(path, {"a": 1})
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"bad": object()})
+        with open(path) as handle:
+            assert json.load(handle) == {"a": 1}
+        assert os.listdir(tmp_path) == ["doc.json"]
+
+
+class TestFingerprint:
+    def test_stable_for_equal_configs(self):
+        other = RunConfig(workload="wordcount", policy=("static", 4), key=4,
+                          workload_kwargs={"scale": 0.02},
+                          cluster_kwargs={"num_nodes": 2, "seed": 42})
+        assert config_fingerprint(CONFIG) == config_fingerprint(other)
+
+    @pytest.mark.parametrize("field,value", [
+        ("policy", ("static", 8)),
+        ("workload_kwargs", {"scale": 0.05}),
+        ("cluster_kwargs", {"num_nodes": 2, "seed": 43}),
+        ("conf_overrides", {"spark.task.maxFailures": 2}),
+        ("fault_plan_doc", {"schema": "repro.faults/1", "seed": 0}),
+    ])
+    def test_any_config_change_changes_the_fingerprint(self, field, value):
+        import dataclasses
+
+        changed = dataclasses.replace(CONFIG, **{field: value})
+        assert config_fingerprint(changed) != config_fingerprint(CONFIG)
+
+
+class TestSweepJournal:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "sweep.journal")
+        journal = SweepJournal(path)
+        journal.record_run("f1", {"workload": "w", "key": 4})
+        journal.record_quarantine("f2", attempts=3, reason="kept crashing")
+        reloaded = SweepJournal(path)
+        assert reloaded.get_run("f1") == {"workload": "w", "key": 4}
+        assert reloaded.get_quarantine("f2")["attempts"] == 3
+        assert len(reloaded) == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        journal = SweepJournal(str(tmp_path / "absent.journal"))
+        assert len(journal) == 0
+
+    def test_truncated_trailing_line_tolerated(self, tmp_path):
+        path = str(tmp_path / "sweep.journal")
+        journal = SweepJournal(path)
+        journal.record_run("f1", {"key": 4})
+        with open(path, "a") as handle:
+            handle.write('{"kind": "run", "fingerprint": "f2", "summ')
+        reloaded = SweepJournal(path)
+        assert reloaded.get_run("f1") == {"key": 4}
+        assert reloaded.get_run("f2") is None
+
+    def test_corrupt_interior_line_rejected(self, tmp_path):
+        path = str(tmp_path / "sweep.journal")
+        lines = [
+            json.dumps({"kind": "meta", "schema": JOURNAL_SCHEMA}),
+            "not json at all",
+            json.dumps({"kind": "run", "fingerprint": "f", "summary": {}}),
+        ]
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.raises(JournalError):
+            SweepJournal(path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = str(tmp_path / "sweep.journal")
+        with open(path, "w") as handle:
+            handle.write(json.dumps({"kind": "meta", "schema": "other/9"}))
+            handle.write("\n")
+        with pytest.raises(JournalError):
+            SweepJournal(path)
+
+    def test_quarantine_cleared_by_later_success(self, tmp_path):
+        path = str(tmp_path / "sweep.journal")
+        journal = SweepJournal(path)
+        journal.record_quarantine("f1", attempts=3, reason="flaky")
+        journal.record_run("f1", {"key": 4})
+        reloaded = SweepJournal(path)
+        assert reloaded.get_quarantine("f1") is None
+        assert reloaded.get_run("f1") == {"key": 4}
+
+
+class TestSummarySerialisation:
+    def test_summary_round_trips_exactly(self):
+        summary = execute_run_config(CONFIG)
+        doc = json.loads(json.dumps(summary_to_doc(summary)))
+        rebuilt = summary_from_doc(doc)
+        assert rebuilt.workload == summary.workload
+        assert rebuilt.key == summary.key
+        assert rebuilt.runtime == summary.runtime  # exact float round-trip
+        assert rebuilt.stage_durations() == summary.stage_durations()
+        assert rebuilt.cluster_io_bytes == summary.cluster_io_bytes
+        assert (rebuilt.recorder.summary_dict()
+                == summary.recorder.summary_dict())

@@ -188,7 +188,7 @@ class TestHistoryCommand:
 
     def test_history_missing_file_errors(self, tmp_path, capsys):
         code = main(["history", str(tmp_path / "absent.jsonl")])
-        assert code == 1
+        assert code == 2
         assert "cannot read" in capsys.readouterr().err
 
     def test_history_wrong_format_errors_cleanly(self, tmp_path, capsys):
