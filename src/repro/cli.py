@@ -155,6 +155,24 @@ def build_parser() -> argparse.ArgumentParser:
     history.add_argument("--json", action="store_true",
                          help="emit the report as JSON instead of tables")
 
+    profile = sub.add_parser(
+        "profile",
+        help="resource demand profile from an event log (offline) -- "
+             "identical to what --profile produces live",
+    )
+    profile.add_argument("eventlog", help="JSONL event log from --events")
+    profile.add_argument("--out", metavar="PATH", default=None,
+                         help="write the demand-profile JSON to PATH")
+    profile.add_argument("--trace", metavar="PATH", default=None,
+                         help="write Chrome counter tracks (Perfetto) to PATH")
+    profile.add_argument("--interval", type=float, default=1.0,
+                         metavar="SECS",
+                         help="sampling grid in simulated seconds "
+                              "(default 1.0; must match the live run's "
+                              "--profile-interval for identical output)")
+    profile.add_argument("--json", action="store_true",
+                         help="print the demand profile as JSON to stdout")
+
     validate = sub.add_parser(
         "validate",
         help="replay an event log through the engine invariant checkers",
@@ -189,6 +207,13 @@ def _common_args(parser: argparse.ArgumentParser) -> None:
                         help="write a JSONL event log (see 'repro history')")
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="write a Chrome trace_event JSON for Perfetto")
+    parser.add_argument("--profile", metavar="PATH", default=None,
+                        help="profile resource demand live and write the "
+                             "demand-profile JSON (see 'repro profile')")
+    parser.add_argument("--profile-interval", type=float, default=1.0,
+                        metavar="SECS",
+                        help="profiler sampling grid in simulated seconds "
+                             "(default 1.0)")
     parser.add_argument("--json", action="store_true",
                         help="emit results as JSON instead of tables")
 
@@ -258,6 +283,12 @@ def _build_tracer(args, suffix: Optional[str] = None) -> Optional[Tracer]:
     if args.trace:
         path = args.trace if suffix is None else _suffix_path(args.trace, suffix)
         sinks.append(ChromeTraceSink(path))
+    if getattr(args, "profile", None):
+        from repro.observability.profiler import ProfilerSink
+
+        path = (args.profile if suffix is None
+                else _suffix_path(args.profile, suffix))
+        sinks.append(ProfilerSink(interval=args.profile_interval, out=path))
     if not sinks:
         return None
     return Tracer(sinks=sinks)
@@ -351,6 +382,11 @@ def _run_sweep_durable(args, thread_counts) -> dict:
                 _suffix_path(args.trace, f"t{threads}")
                 if args.trace else None
             ),
+            profile_path=(
+                _suffix_path(args.profile, f"t{threads}")
+                if args.profile else None
+            ),
+            profile_interval=args.profile_interval,
         )
         for threads in thread_counts
     ]
@@ -386,10 +422,15 @@ def _run_sweep(args, thread_counts) -> dict:
                 (lambda t: _suffix_path(args.trace, f"t{t}"))
                 if args.trace else None
             ),
+            profile_path_factory=(
+                (lambda t: _suffix_path(args.profile, f"t{t}"))
+                if args.profile else None
+            ),
+            profile_interval=args.profile_interval,
             **_run_kwargs(args),
         )
     tracer_factory = None
-    if args.events or args.trace:
+    if args.events or args.trace or args.profile:
         tracer_factory = lambda threads: _build_tracer(args, f"t{threads}")
     return static_sweep(args.workload, thread_counts=thread_counts,
                         tracer_factory=tracer_factory, **_run_kwargs(args))
@@ -457,6 +498,10 @@ def cmd_compare(args) -> int:
                 trace_path=(
                     _suffix_path(args.trace, label) if args.trace else None
                 ),
+                profile_path=(
+                    _suffix_path(args.profile, label) if args.profile else None
+                ),
+                profile_interval=args.profile_interval,
             )
             for label, policy in (
                 ("bestfit", ("bestfit", bestfit_sizes)),
@@ -586,6 +631,10 @@ def cmd_bench(args) -> int:
     sweep = doc["benchmarks"]["sweep"]
     print(f"\nsweep: {sweep['points']} points, {sweep['workers']} worker(s), "
           f"speedup {sweep['speedup']:.2f}x over sequential")
+    overhead = doc["benchmarks"].get("profiler_overhead")
+    if overhead is not None:
+        print(f"profiler overhead: {overhead['overhead_frac']:+.1%} wall "
+              f"time vs untraced (scale {overhead['scale']})")
     if args.check:
         with open(args.check, "r", encoding="utf-8") as handle:
             baseline = json.load(handle)
@@ -611,7 +660,7 @@ def cmd_bench(args) -> int:
 
 def cmd_history(args) -> int:
     try:
-        events = load_events(args.eventlog)
+        events = load_events(args.eventlog, allow_truncated=True)
     except FileNotFoundError:
         print(f"cannot read event log: no such file: {args.eventlog}",
               file=sys.stderr)
@@ -673,6 +722,108 @@ def cmd_history(args) -> int:
     if report.metrics:
         print(f"\nmetrics snapshot: {len(report.metrics)} series "
               f"(use --json for values)")
+    if report.open_spans:
+        detail = ", ".join(f"{cat}: {count}"
+                           for cat, count in sorted(report.open_spans.items()))
+        print(f"\nwarning: {sum(report.open_spans.values())} span(s) never "
+              f"ended ({detail}) -- the run likely crashed or the log is "
+              f"truncated", file=sys.stderr)
+    return 0
+
+
+def _format_rate(value: float) -> str:
+    """Human bytes/sec (or plain count) for the profile report tables."""
+    for threshold, unit in ((1024 ** 3, "GiB/s"), (1024 ** 2, "MiB/s"),
+                            (1024, "KiB/s")):
+        if abs(value) >= threshold:
+            return f"{value / threshold:.2f} {unit}"
+    return f"{value:.2f}"
+
+
+def cmd_profile(args) -> int:
+    from repro.observability.profiler import profile_events
+
+    try:
+        events = load_events(args.eventlog, allow_truncated=True)
+    except FileNotFoundError:
+        print(f"cannot read event log: no such file: {args.eventlog}",
+              file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"cannot read event log: {exc}", file=sys.stderr)
+        return 1
+    sink = profile_events(events, interval=args.interval,
+                          out=args.out, trace_out=args.trace)
+    doc = sink.demand_profile()
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    app = doc["application"]
+    if app:
+        print(f"application: {app.get('num_nodes', '?')} nodes x "
+              f"{app.get('cores_per_node', '?')} cores on "
+              f"{app.get('device', '?')}")
+    print(f"demand profile ({len(events)} events, "
+          f"{args.interval:g}s sampling grid)\n")
+    rows = []
+    for stage in doc["stages"]:
+        resources = stage["resources"]
+
+        def cell(key):
+            entry = resources.get(key)
+            if entry is None:
+                return "--"
+            return (f"{_format_rate(entry['peak'])} / "
+                    f"{_format_rate(entry['mean'])}")
+
+        rows.append(
+            (
+                stage["stage_id"],
+                stage["name"],
+                f"{stage['duration']:.1f}",
+                cell("cpu_util"),
+                cell("disk_read_bps"),
+                cell("disk_write_bps"),
+                cell("nic_out_bps"),
+            )
+        )
+    print(render_table(
+        ["stage", "name", "duration (s)", "cpu peak/mean",
+         "disk read peak/mean", "disk write peak/mean", "nic out peak/mean"],
+        rows,
+    ))
+    distributions = doc.get("distributions", {})
+    if distributions:
+        rows = [
+            (name, dist["count"], f"{dist['mean']:.3f}",
+             f"{dist['p50']:.3f}", f"{dist['p90']:.3f}",
+             f"{dist['p99']:.3f}", f"{dist['max']:.3f}")
+            for name, dist in sorted(distributions.items())
+        ]
+        print("\ndistributions (seconds):")
+        print(render_table(
+            ["metric", "count", "mean", "p50", "p90", "p99", "max"], rows
+        ))
+    executors = doc.get("executors", [])
+    if executors:
+        rows = [
+            (ex["executor_id"], ex["tasks"], ex["crashed_tasks"],
+             f"{ex['io_bytes'] / 1024 ** 2:.0f}",
+             f"{ex['io_wait_seconds']:.1f}",
+             f"{ex['peak_active_tasks']:.0f}",
+             _format_rate(ex["peak_io_bps"]))
+            for ex in executors
+        ]
+        print("\nexecutors:")
+        print(render_table(
+            ["executor", "tasks", "crashed", "I/O (MiB)", "I/O wait (s)",
+             "peak active", "peak I/O"],
+            rows,
+        ))
+    if args.out:
+        print(f"\nwrote demand profile to {args.out}")
+    if args.trace:
+        print(f"wrote counter tracks to {args.trace}")
     return 0
 
 
@@ -708,6 +859,7 @@ COMMANDS = {
     "faults": cmd_faults,
     "bench": cmd_bench,
     "history": cmd_history,
+    "profile": cmd_profile,
     "validate": cmd_validate,
 }
 

@@ -72,6 +72,13 @@ class SparkContext:
             invariants.bind(self)
         if self.tracer.enabled:
             self._wire_tracer()
+        #: Demand profiling is on only when an enabled tracer carries a
+        #: profiler sink.  Every profiling hook (monitoring probe, registry
+        #: histograms) gates on this flag, so runs without a profiler --
+        #: including the golden-log runs -- emit byte-identical logs.
+        self.profiling = self.tracer.enabled and any(
+            getattr(sink, "is_profiler", False) for sink in self.tracer.sinks
+        )
         # Imported here to avoid a package-level cycle: repro.monitoring
         # reads engine metrics types, and this module wires monitoring in.
         from repro.monitoring import MonitoringService

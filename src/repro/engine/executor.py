@@ -317,6 +317,16 @@ class Executor:
         registry.counter("tasks.completed").inc()
         registry.counter("io.task_bytes").inc(metrics.total_io_bytes)
         registry.counter("io.wait_seconds").inc(io_wait)
+        if self.ctx.profiling:
+            # Distribution metrics ride the same registry as the counters
+            # above, but only when a demand profiler is attached -- the
+            # trailing metrics event must stay byte-identical otherwise.
+            registry.histogram("tasks.duration").observe(sim.now - launch_time)
+            registry.histogram("tasks.io_wait").observe(io_wait)
+            if self._record is not None:
+                registry.histogram("tasks.queue_delay").observe(
+                    launch_time - self._record.start_time
+                )
         decision = self.policy.on_task_complete(self, task.stage, metrics)
         if decision is not None and decision != self.pool_size:
             self._apply_pool_size(decision, reason="adapt")

@@ -4,6 +4,15 @@ These records are what the paper's figures are drawn from: per-stage
 runtimes (Figs. 2/4/8/9/10/11), per-executor pool-size decisions (Fig. 6),
 adaptive-interval sensor readings (Fig. 7), and sampled resource utilisation
 (Figs. 1/5/12, via :mod:`repro.monitoring`).
+
+Naming split vs :mod:`repro.observability.metrics`: this module holds the
+raw per-entity *records* (one object per task/stage/decision/interval,
+accessed positionally); the observability registry is the single naming
+authority for anything aggregated under a dotted metric *name*
+(``tasks.duration``, ``node.0.disk.bytes_read``, ...).  New named series --
+whether surfaced by ``collect_run_metrics``, the demand profiler, or
+``repro profile`` -- belong there, with their units registered in
+``METRIC_UNITS``; see OBSERVABILITY.md.
 """
 
 from __future__ import annotations

@@ -822,6 +822,10 @@ class TaskScheduler:
             self.ctx.tracer.end(run.trace_span,
                                 duration=run.record.duration)
         self.ctx.metrics.counter("scheduler.stages_completed").inc()
+        if self.ctx.profiling:
+            self.ctx.metrics.histogram("stages.runtime").observe(
+                run.record.duration
+            )
         self.ctx.monitoring.end_stage(run.stage, run.record)
         # Record sizes for RDDs this stage materialised into the cache so
         # later stages plan memory reads instead of recomputation.

@@ -166,6 +166,53 @@ def bench_end_to_end(workload: str, smoke: bool = False) -> Dict[str, Any]:
                         sim_runtime_s=holder["sim_runtime_s"])
 
 
+def bench_profiler_overhead(smoke: bool = False) -> Dict[str, Any]:
+    """Demand-profiling tax: profiled vs plain wall time, e2e terasort.
+
+    A profiled run attaches a
+    :class:`~repro.observability.profiler.ProfilerSink` (which flips
+    ``ctx.profiling`` on: tracer events, monitoring probe, registry
+    histograms) and pays the full observability cost; the baseline runs
+    untraced.  ``overhead_frac`` is the fractional wall-time increase --
+    the number OBSERVABILITY.md quotes and the bench assert that keeps
+    profiling cheap.  Not a regression-gated figure of merit (absolute
+    walls are too host-dependent); the document records it for trending.
+    """
+    from repro.harness.runner import finish_trace, run_workload
+    from repro.observability.profiler import ProfilerSink
+    from repro.observability.tracer import Tracer
+
+    scale = 0.02 if smoke else 0.05
+    repeats = 2 if smoke else 3
+
+    def baseline() -> int:
+        run = run_workload("terasort", policy="default",
+                           workload_kwargs={"scale": scale})
+        return run.ctx.sim.events_scheduled
+
+    def profiled() -> int:
+        tracer = Tracer(sinks=[ProfilerSink()])
+        run = run_workload("terasort", policy="default",
+                           workload_kwargs={"scale": scale}, tracer=tracer)
+        finish_trace(run)
+        return run.ctx.sim.events_scheduled
+
+    base_events, base_wall = _timed(baseline, repeats)
+    prof_events, prof_wall = _timed(profiled, repeats)
+    return {
+        "events": prof_events,
+        "baseline_events": base_events,
+        "wall_s": prof_wall,
+        "baseline_wall_s": base_wall,
+        "overhead_frac": (
+            prof_wall / base_wall - 1.0 if base_wall > 0 else 0.0
+        ),
+        "scale": scale,
+        "events_per_sec": None,  # not gated: walls are host-dependent
+        "runs_per_min": None,
+    }
+
+
 # -- sweep layer -----------------------------------------------------------
 
 
@@ -226,6 +273,7 @@ def run_suite(smoke: bool = False, parallel: int = 0) -> Dict[str, Any]:
             "kernel_storm": bench_kernel_storm(smoke=smoke),
             "e2e_terasort": bench_end_to_end("terasort", smoke=smoke),
             "e2e_pagerank": bench_end_to_end("pagerank", smoke=smoke),
+            "profiler_overhead": bench_profiler_overhead(smoke=smoke),
             "sweep": bench_sweep(parallel=parallel, smoke=smoke),
         },
     }

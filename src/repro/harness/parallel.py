@@ -60,6 +60,8 @@ class RunConfig:
     fault_plan_doc: Optional[Dict[str, Any]] = None
     events_path: Optional[str] = None
     trace_path: Optional[str] = None
+    profile_path: Optional[str] = None
+    profile_interval: float = 1.0
 
     def __post_init__(self) -> None:
         if callable(self.policy):
@@ -84,6 +86,9 @@ class RunSummary:
     runtime: float
     recorder: RunRecorder
     cluster_io_bytes: float = 0.0
+    #: The run's demand-profile document (``repro.profile/1``), present
+    #: when the config requested profiling (``profile_path``).
+    demand_profile: Optional[Dict[str, Any]] = None
 
     @property
     def stages(self) -> List[StageRecord]:
@@ -118,6 +123,7 @@ def execute_run_config(config: RunConfig) -> RunSummary:
     from repro.faults.plan import FaultPlan
     from repro.harness.runner import finish_trace, run_workload
     from repro.observability.chrome import ChromeTraceSink
+    from repro.observability.profiler import ProfilerSink
     from repro.observability.sinks import JsonLinesSink
     from repro.observability.tracer import Tracer
 
@@ -126,6 +132,11 @@ def execute_run_config(config: RunConfig) -> RunSummary:
         sinks.append(JsonLinesSink(config.events_path))
     if config.trace_path:
         sinks.append(ChromeTraceSink(config.trace_path))
+    profiler = None
+    if config.profile_path:
+        profiler = ProfilerSink(interval=config.profile_interval,
+                                out=config.profile_path)
+        sinks.append(profiler)
     tracer = Tracer(sinks=sinks) if sinks else None
 
     fault_plan = None
@@ -149,6 +160,9 @@ def execute_run_config(config: RunConfig) -> RunSummary:
         runtime=run.runtime,
         recorder=run.ctx.recorder,
         cluster_io_bytes=run.cluster_io_bytes,
+        demand_profile=(
+            profiler.demand_profile() if profiler is not None else None
+        ),
     )
 
 
@@ -173,13 +187,16 @@ def map_runs(configs: List[RunConfig], parallel: int = 1) -> List[RunSummary]:
 
 def summary_to_doc(summary: RunSummary) -> Dict[str, Any]:
     """Serialise a summary for the sweep journal (JSON-safe keys only)."""
-    return {
+    doc = {
         "workload": summary.workload,
         "key": summary.key,
         "runtime": summary.runtime,
         "cluster_io_bytes": summary.cluster_io_bytes,
         "recorder": summary.recorder.to_dict(),
     }
+    if summary.demand_profile is not None:
+        doc["demand_profile"] = summary.demand_profile
+    return doc
 
 
 def summary_from_doc(doc: Dict[str, Any]) -> RunSummary:
@@ -192,6 +209,7 @@ def summary_from_doc(doc: Dict[str, Any]) -> RunSummary:
         runtime=doc["runtime"],
         recorder=RunRecorder.from_dict(doc["recorder"]),
         cluster_io_bytes=doc.get("cluster_io_bytes", 0.0),
+        demand_profile=doc.get("demand_profile"),
     )
 
 

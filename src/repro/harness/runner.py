@@ -142,6 +142,19 @@ def finish_trace(run: WorkloadRun) -> None:
     tracer.close()
 
 
+def run_profiler(run: WorkloadRun):
+    """The demand-profiler sink attached to a run's tracer, if any.
+
+    Call after :func:`finish_trace` -- the sink's outputs are written on
+    tracer close.  Returns the
+    :class:`~repro.observability.profiler.ProfilerSink` or ``None``.
+    """
+    for sink in run.ctx.tracer.sinks:
+        if getattr(sink, "is_profiler", False):
+            return sink
+    return None
+
+
 def static_sweep(
     workload: Union[str, Workload],
     thread_counts=(32, 16, 8, 4, 2),
@@ -151,6 +164,8 @@ def static_sweep(
     parallel: int = 1,
     events_path_factory: Optional[Callable[[int], str]] = None,
     trace_path_factory: Optional[Callable[[int], str]] = None,
+    profile_path_factory: Optional[Callable[[int], str]] = None,
+    profile_interval: float = 1.0,
     **cluster_kwargs: Any,
 ) -> Dict[int, Any]:
     """The paper's Fig. 2/4/10 protocol: the static solution at each count.
@@ -194,6 +209,11 @@ def static_sweep(
                 trace_path=(
                     trace_path_factory(threads) if trace_path_factory else None
                 ),
+                profile_path=(
+                    profile_path_factory(threads)
+                    if profile_path_factory else None
+                ),
+                profile_interval=profile_interval,
             )
             for threads in thread_counts
         ]

@@ -54,6 +54,16 @@ class NetworkLink(FairShareResource):
         self.bytes_transferred += size
         done.succeed(size)
 
+    def sample_bytes(self) -> float:
+        """Bytes through this link *including* in-flight flow progress.
+
+        ``bytes_transferred`` only advances at flow completion, which makes
+        long shuffles look like end-of-flow bursts; the profiler probe needs
+        the continuous reading.  Non-mutating, so sampling never perturbs
+        the event timeline.
+        """
+        return self.sample_counters()["work_done"]
+
 
 class NetworkFabric:
     """All node NICs plus point-to-point transfer orchestration."""

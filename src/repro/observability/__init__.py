@@ -18,13 +18,21 @@ those signals previously lacked:
 * :mod:`repro.observability.history` -- the history-server analogue:
   reconstructs a run (per-stage runtime, pool-size decisions, the ζ
   trajectory) from an event log alone.
+* :mod:`repro.observability.profiler` -- multi-resource demand profiler:
+  per-node/per-executor utilization series, per-stage demand vectors, and
+  task/stage latency distributions, identical live or replayed from a log
+  (``repro profile``).
 
 Tracing is zero-cost when disabled: every instrumentation site guards on
 ``tracer.enabled`` before building any payload, and the default
 :data:`NULL_TRACER` never emits.
 """
 
-from repro.observability.chrome import ChromeTraceSink, validate_chrome_trace
+from repro.observability.chrome import (
+    ChromeTraceSink,
+    validate_chrome_trace,
+    write_counter_tracks,
+)
 from repro.observability.events import TraceEvent
 from repro.observability.history import HistoryReport, load_events, reconstruct
 from repro.observability.metrics import (
@@ -33,6 +41,11 @@ from repro.observability.metrics import (
     Histogram,
     MetricsRegistry,
     collect_run_metrics,
+)
+from repro.observability.profiler import (
+    PROFILE_SCHEMA,
+    ProfilerSink,
+    profile_events,
 )
 from repro.observability.sinks import JsonLinesSink, MemorySink, TraceSink
 from repro.observability.tracer import NULL_TRACER, NullTracer, Tracer
@@ -48,11 +61,15 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "PROFILE_SCHEMA",
+    "ProfilerSink",
     "TraceEvent",
     "TraceSink",
     "Tracer",
     "collect_run_metrics",
     "load_events",
+    "profile_events",
     "reconstruct",
     "validate_chrome_trace",
+    "write_counter_tracks",
 ]

@@ -164,6 +164,37 @@ class ChromeTraceSink(TraceSink):
             json.dump(document, self._target)
 
 
+def write_counter_tracks(
+    target: Union[str, IO[str]],
+    tracks: Dict[str, List[tuple]],
+) -> int:
+    """Write a standalone Chrome trace of counter (``"C"``) tracks.
+
+    ``tracks`` maps a track name to ``[(ts_seconds, value), ...]`` samples
+    (the shape :meth:`~repro.observability.profiler.ProfilerSink.
+    counter_tracks` returns).  Tracks are emitted in sorted-name order so
+    output bytes are deterministic.  Returns the number of events written.
+    """
+    events: List[Dict[str, Any]] = []
+    for name in sorted(tracks):
+        for ts, value in tracks[name]:
+            events.append({
+                "name": name,
+                "ph": "C",
+                "ts": ts * _SECONDS_TO_US,
+                "pid": 0,
+                "tid": 0,
+                "args": {"value": value},
+            })
+    document = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as stream:
+            json.dump(document, stream)
+    else:
+        json.dump(document, target)
+    return len(events)
+
+
 def validate_chrome_trace(source: Union[str, Dict[str, Any]]) -> int:
     """Validate a trace document against the ``trace_event`` JSON schema.
 

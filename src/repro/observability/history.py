@@ -31,35 +31,69 @@ from repro.observability.events import (
 )
 
 
-def load_events(path: str) -> List[TraceEvent]:
-    """Read a JSONL event log; meta lines and unknown kinds are skipped."""
+def load_events(path: str, allow_truncated: bool = False,
+                warn=None) -> List[TraceEvent]:
+    """Read a JSONL event log; meta lines and unknown kinds are skipped.
+
+    With ``allow_truncated`` a malformed *final* line -- the signature of a
+    writer killed mid-``write`` (crashed run, full disk) -- is skipped with
+    a warning (``warn(message)``, defaulting to stderr) instead of raising,
+    so ``repro history``/``repro profile`` can analyse a crashed run's
+    partial log.  Corruption anywhere *before* the last line still raises,
+    as does a file whose *only* line is malformed: that is not truncation
+    but a damaged or wrong-format file.
+    """
     events: List[TraceEvent] = []
+    parsed_any = False  # a bad final line only counts as truncation if
+    #                     at least one earlier line parsed cleanly
     with open(path, "r", encoding="utf-8") as stream:
-        for lineno, line in enumerate(stream, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                doc = json.loads(line)
-            except json.JSONDecodeError as exc:
+        lines = stream.read().splitlines()
+    last_lineno = len(lines)
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        tolerate = allow_truncated and lineno == last_lineno and parsed_any
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if tolerate:
+                _warn(warn, f"{path}:{lineno}: skipping partial trailing "
+                            f"line (truncated log?)")
+                break
+            raise ValueError(
+                f"{path}:{lineno}: not valid JSON: {exc}"
+            ) from None
+        if doc.get("kind") == "meta":
+            schema = doc.get("schema", "")
+            if schema and schema != SCHEMA:
                 raise ValueError(
-                    f"{path}:{lineno}: not valid JSON: {exc}"
-                ) from None
-            if doc.get("kind") == "meta":
-                schema = doc.get("schema", "")
-                if schema and schema != SCHEMA:
-                    raise ValueError(
-                        f"{path}: unsupported event-log schema {schema!r}"
-                    )
-                continue
-            try:
-                events.append(TraceEvent.from_json(doc))
-            except (KeyError, TypeError, ValueError) as exc:
-                raise ValueError(
-                    f"{path}:{lineno}: not a trace event "
-                    f"(is this really an event log?): {exc!r}"
-                ) from None
+                    f"{path}: unsupported event-log schema {schema!r}"
+                )
+            parsed_any = True
+            continue
+        try:
+            events.append(TraceEvent.from_json(doc))
+            parsed_any = True
+        except (KeyError, TypeError, ValueError) as exc:
+            if tolerate:
+                _warn(warn, f"{path}:{lineno}: skipping partial trailing "
+                            f"event (truncated log?)")
+                break
+            raise ValueError(
+                f"{path}:{lineno}: not a trace event "
+                f"(is this really an event log?): {exc!r}"
+            ) from None
     return events
+
+
+def _warn(warn, message: str) -> None:
+    if warn is None:
+        import sys
+
+        print(f"warning: {message}", file=sys.stderr)
+    else:
+        warn(message)
 
 
 @dataclass
@@ -115,6 +149,9 @@ class HistoryReport:
     intervals: List[IntervalHistory] = field(default_factory=list)
     metrics: Optional[Dict[str, Any]] = None
     application: Dict[str, Any] = field(default_factory=dict)
+    #: Spans begun but never ended, counted per category -- non-empty for
+    #: truncated logs (crashed runs) and useful to see *where* it died.
+    open_spans: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_runtime(self) -> float:
@@ -187,6 +224,8 @@ class HistoryReport:
                 for i in self.intervals
             ],
             "metrics": self.metrics,
+            "open_spans": {cat: count
+                           for cat, count in sorted(self.open_spans.items())},
         }
 
 
@@ -194,7 +233,12 @@ def reconstruct(events: Iterable[TraceEvent]) -> HistoryReport:
     """Rebuild a run's timeline from its event stream."""
     report = HistoryReport()
     open_stages: Dict[int, StageHistory] = {}  # span id -> stage
+    open_cats: Dict[int, str] = {}  # span id -> category, for open-span count
     for event in events:
+        if event.kind == BEGIN:
+            open_cats[event.span] = event.cat
+        elif event.kind == END:
+            open_cats.pop(event.span, None)
         if event.kind == BEGIN and event.cat == "stage":
             stage = StageHistory(
                 stage_id=int(event.args.get("stage_id", -1)),
@@ -247,4 +291,6 @@ def reconstruct(events: Iterable[TraceEvent]) -> HistoryReport:
                 report.application = dict(event.args)
             elif event.name == "metrics":
                 report.metrics = event.args.get("snapshot")
+    for cat in open_cats.values():
+        report.open_spans[cat] = report.open_spans.get(cat, 0) + 1
     return report

@@ -19,6 +19,10 @@ from repro.observability.events import SCHEMA, TraceEvent
 class TraceSink:
     """Receives every event the tracer emits; close() flushes."""
 
+    #: Sinks that *consume* the stream to build demand profiles set this;
+    #: the context checks it to decide whether ``ctx.profiling`` is on.
+    is_profiler = False
+
     def write(self, event: TraceEvent) -> None:
         raise NotImplementedError
 

@@ -184,6 +184,55 @@ class FairShareResource:
         self._advance()
         self._reschedule()
 
+    @property
+    def queue_depth(self) -> int:
+        """Jobs currently in service (the fair-share queue is the service
+        set; there is no separate wait queue in the fluid model)."""
+        return len(self._jobs)
+
+    def sample_counters(self) -> Dict[str, Any]:
+        """Cumulative counters extrapolated to ``sim.now`` WITHOUT mutating.
+
+        The profiler's sampling probe must not perturb the simulation:
+        :meth:`sync` prices elapsed work into ``stats`` and splits float
+        accumulations, which shifts completion horizons by ULPs and would
+        make a profiled run's event timeline differ from an unprofiled
+        one.  This read-only twin extrapolates in-flight service at the
+        current rate function instead, leaving ``stats``, every
+        ``job.remaining``, and ``_last_update`` untouched.  The returned
+        ``work_by_tag`` is a fresh dict (the stats dict plus in-flight
+        extrapolation), so the disk probe can split read/write bandwidth.
+        """
+        stats = self.stats
+        counters: Dict[str, Any] = {
+            "busy_time": stats.busy_time,
+            "work_done": stats.work_done,
+            "concurrency_integral": stats.concurrency_integral,
+            "occupancy_integral": stats.occupancy_integral,
+            "queue_depth": float(len(self._jobs)),
+            "work_by_tag": dict(stats.work_by_tag),
+        }
+        jobs = self._jobs
+        dt = self.sim.now - self._last_update
+        if dt <= 0 or not jobs:
+            return counters
+        uniform = self.uniform_rate(len(jobs)) if self._uniform_hook else None
+        rates = None if uniform is not None else self.rates(jobs)
+        moved = 0.0
+        work_by_tag = counters["work_by_tag"]
+        for job in jobs:
+            step = uniform * dt if rates is None else rates[job] * dt
+            if step > job.remaining:
+                step = job.remaining
+            moved += step
+            if job.tag:
+                work_by_tag[job.tag] = work_by_tag.get(job.tag, 0.0) + step
+        counters["busy_time"] += dt
+        counters["work_done"] += moved
+        counters["concurrency_integral"] += len(jobs) * dt
+        counters["occupancy_integral"] += self._occupied(len(jobs)) * dt
+        return counters
+
     def utilization_between(self, busy_before: float, elapsed: float) -> float:
         """Helper for samplers: busy fraction given a previous busy_time."""
         if elapsed <= 0:

@@ -98,12 +98,17 @@ class TestSuiteShape:
         assert doc["schema"] == bench.BENCH_SCHEMA
         assert doc["mode"] == "smoke"
         expected = {"kernel_terasort", "kernel_storm", "e2e_terasort",
-                    "e2e_pagerank", "sweep"}
+                    "e2e_pagerank", "profiler_overhead", "sweep"}
         assert set(doc["benchmarks"]) == expected
-        for name in expected - {"sweep"}:
+        for name in expected - {"sweep", "profiler_overhead"}:
             assert doc["benchmarks"][name]["events_per_sec"] > 0
         sweep = doc["benchmarks"]["sweep"]
         assert sweep["points"] == 8
         assert sweep["runs_per_min"] > 0
+        overhead = doc["benchmarks"]["profiler_overhead"]
+        # Not regression-gated (host-dependent walls) but present and sane:
+        # a profiled run schedules at least as many events as the baseline.
+        assert overhead["events_per_sec"] is None
+        assert overhead["events"] >= overhead["baseline_events"] > 0
         # The suite gates against itself: a doc never regresses vs itself.
         assert bench.check_regression(doc, doc) == []

@@ -85,6 +85,31 @@ class TestExecuteRunConfig:
         assert clone.runtime == summary.runtime
         assert clone.stage_durations() == summary.stage_durations()
 
+    def test_profile_path_writes_profile_and_fills_summary(self, tmp_path):
+        import json
+
+        out = tmp_path / "profile.json"
+        summary = execute_run_config(
+            _config("profiled", 4, profile_path=str(out))
+        )
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "repro.profile/1"
+        assert summary.demand_profile == doc
+        # Profiles survive the pool boundary and the journal codec.
+        import pickle
+
+        from repro.harness.parallel import summary_from_doc, summary_to_doc
+
+        clone = pickle.loads(pickle.dumps(summary))
+        assert clone.demand_profile == doc
+        assert summary_from_doc(
+            summary_to_doc(summary)
+        ).demand_profile == doc
+
+    def test_no_profile_path_leaves_summary_empty(self):
+        summary = execute_run_config(_config("plain", 4))
+        assert summary.demand_profile is None
+
 
 class TestMapRuns:
     def test_parallel_matches_sequential(self):

@@ -1,0 +1,92 @@
+"""Chrome exporter counter tests: the ``"C"`` phase and counter tracks."""
+
+import io
+import json
+
+import pytest
+
+from repro.observability.chrome import (
+    ChromeTraceSink,
+    validate_chrome_trace,
+    write_counter_tracks,
+)
+from repro.observability.tracer import Tracer
+
+
+def _render(emit):
+    """Run ``emit(tracer)`` against a fresh in-memory Chrome sink."""
+    stream = io.StringIO()
+    tracer = Tracer(sinks=[ChromeTraceSink(stream)])
+    emit(tracer)
+    tracer.close()
+    return json.loads(stream.getvalue())
+
+
+class TestCounterEvents:
+    def test_counter_renders_as_phase_c(self):
+        doc = _render(lambda t: t.counter("device", "disk0", 3.0))
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert len(counters) == 1
+        event = counters[0]
+        assert event["name"] == "device.disk0"
+        assert event["args"] == {"value": 3.0}
+        assert event["pid"] == 0  # no executor_id: driver track
+
+    def test_counter_timestamp_in_microseconds(self):
+        def emit(tracer):
+            tracer.clock = lambda: 2.5
+            tracer.counter("profile", "node0", 0.5)
+
+        doc = _render(emit)
+        counter = next(e for e in doc["traceEvents"] if e["ph"] == "C")
+        assert counter["ts"] == 2.5 * 1e6
+
+    def test_counter_on_executor_track(self):
+        doc = _render(
+            lambda t: t.counter("pool", "size", 8, executor_id=2)
+        )
+        counter = next(e for e in doc["traceEvents"] if e["ph"] == "C")
+        assert counter["pid"] == 3  # executor_id + 1
+        metas = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert metas[0]["args"]["name"] == "executor 2"
+
+    def test_counter_document_validates(self):
+        doc = _render(lambda t: t.counter("device", "disk0", 1.0))
+        assert validate_chrome_trace(doc) == 2  # meta + counter
+
+
+class TestWriteCounterTracks:
+    TRACKS = {
+        "node0.cpu_util": [(0.0, 0.5), (1.0, 0.75)],
+        "exec0.io_bps": [(0.5, 1024.0)],
+    }
+
+    def test_event_count_and_validation(self, tmp_path):
+        path = str(tmp_path / "tracks.json")
+        assert write_counter_tracks(path, self.TRACKS) == 3
+        assert validate_chrome_trace(path) == 3
+
+    def test_sorted_name_order_is_deterministic(self):
+        stream = io.StringIO()
+        write_counter_tracks(stream, self.TRACKS)
+        doc = json.loads(stream.getvalue())
+        names = [e["name"] for e in doc["traceEvents"]]
+        assert names == ["exec0.io_bps", "node0.cpu_util", "node0.cpu_util"]
+
+    def test_values_and_microsecond_timestamps(self):
+        stream = io.StringIO()
+        write_counter_tracks(stream, {"a": [(2.0, 7.0)]})
+        event = json.loads(stream.getvalue())["traceEvents"][0]
+        assert event == {"name": "a", "ph": "C", "ts": 2.0 * 1e6,
+                         "pid": 0, "tid": 0, "args": {"value": 7.0}}
+
+    def test_empty_tracks_write_valid_empty_trace(self):
+        stream = io.StringIO()
+        assert write_counter_tracks(stream, {}) == 0
+        assert validate_chrome_trace(json.loads(stream.getvalue())) == 0
+
+    def test_identical_input_produces_identical_bytes(self):
+        first, second = io.StringIO(), io.StringIO()
+        write_counter_tracks(first, self.TRACKS)
+        write_counter_tracks(second, self.TRACKS)
+        assert first.getvalue() == second.getvalue()

@@ -152,6 +152,73 @@ class TestLoadEvents:
         assert len(load_events(str(path))) == 1
 
 
+GOOD_LINE = '{"ts":0,"seq":0,"kind":"I","cat":"a","name":"b"}\n'
+
+
+class TestTruncatedLogs:
+    def test_partial_trailing_line_skipped_with_warning(self, tmp_path):
+        path = tmp_path / "truncated.jsonl"
+        path.write_text(GOOD_LINE + '{"ts": 1, "seq": 1, "ki')
+        warnings = []
+        events = load_events(str(path), allow_truncated=True,
+                             warn=warnings.append)
+        assert len(events) == 1
+        assert len(warnings) == 1 and "truncated" in warnings[0]
+
+    def test_valid_json_but_partial_event_skipped(self, tmp_path):
+        # A line can be complete JSON yet still a torn write (missing keys).
+        path = tmp_path / "truncated.jsonl"
+        path.write_text(GOOD_LINE + '{"ts": 1}\n')
+        warnings = []
+        events = load_events(str(path), allow_truncated=True,
+                             warn=warnings.append)
+        assert len(events) == 1
+        assert warnings
+
+    def test_strict_mode_still_raises(self, tmp_path):
+        path = tmp_path / "truncated.jsonl"
+        path.write_text(GOOD_LINE + '{"ts": 1, "seq"')
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_events(str(path))
+
+    def test_corruption_before_final_line_raises(self, tmp_path):
+        path = tmp_path / "damaged.jsonl"
+        path.write_text(GOOD_LINE + "garbage\n" + GOOD_LINE)
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_events(str(path), allow_truncated=True)
+
+    def test_lone_malformed_line_is_not_truncation(self, tmp_path):
+        # A wrong-format file (no valid events at all) must still error.
+        path = tmp_path / "not-a-log.json"
+        path.write_text('{"traceEvents": []}\n')
+        with pytest.raises(ValueError, match="not a trace event"):
+            load_events(str(path), allow_truncated=True)
+
+    def test_default_warning_goes_to_stderr(self, tmp_path, capsys):
+        path = tmp_path / "truncated.jsonl"
+        path.write_text(GOOD_LINE + '{"ts')
+        load_events(str(path), allow_truncated=True)
+        assert "warning:" in capsys.readouterr().err
+
+
+class TestOpenSpans:
+    def test_complete_log_reports_no_open_spans(self, traced_run):
+        _run, _memory, paths = traced_run
+        report = reconstruct(load_events(paths["events"]))
+        assert report.open_spans == {}
+
+    def test_truncated_log_counts_open_spans_by_category(self, traced_run):
+        _run, _memory, paths = traced_run
+        events = load_events(paths["events"])
+        # Chop the log mid-run: spans begun before the cut stay open.
+        report = reconstruct(events[:len(events) // 2])
+        assert report.open_spans
+        assert "stage" in report.open_spans
+        assert all(count > 0 for count in report.open_spans.values())
+        as_dict = report.to_dict()
+        assert as_dict["open_spans"] == report.open_spans
+
+
 class TestInfinityHandling:
     def test_infinite_zeta_round_trips_through_json(self):
         stream = io.StringIO()

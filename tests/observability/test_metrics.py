@@ -59,6 +59,75 @@ class TestPrimitives:
         assert snap["mean"] == 0.0
 
 
+class TestHistogramPercentiles:
+    """The fixed-bucket percentile math behind profile distributions."""
+
+    def test_empty_histogram_percentile_is_zero(self):
+        hist = Histogram()
+        assert hist.percentile(0.5) == 0.0
+        assert hist.percentile(0.99) == 0.0
+
+    def test_quantile_out_of_range_rejected(self):
+        hist = Histogram()
+        with pytest.raises(ValueError):
+            hist.percentile(-0.1)
+        with pytest.raises(ValueError):
+            hist.percentile(1.1)
+
+    def test_single_sample_reported_exactly(self):
+        hist = Histogram()
+        hist.observe(3.7)
+        # Clamping to [min, max] collapses the bucket to the one sample.
+        for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+            assert hist.percentile(q) == 3.7
+
+    def test_bucket_boundary_value_lands_in_its_bucket(self):
+        from repro.observability.metrics import BUCKET_EDGES
+        from bisect import bisect_left
+
+        hist = Histogram()
+        hist.observe(1.0)  # exactly a bucket's upper edge
+        index = bisect_left(BUCKET_EDGES, 1.0)
+        assert BUCKET_EDGES[index] == 1.0  # inclusive upper bound
+        assert hist.buckets == {index: 1}
+        assert hist.percentile(1.0) == 1.0
+
+    def test_percentiles_are_monotone_and_bounded(self):
+        hist = Histogram()
+        for value in range(1, 101):
+            hist.observe(float(value))
+        p50, p90, p99 = (hist.percentile(q) for q in (0.50, 0.90, 0.99))
+        assert hist.min <= p50 <= p90 <= p99 <= hist.max
+        # 1-2-5 buckets bound relative error to the bucket width (2.5x).
+        assert 20.0 <= p50 <= 100.0
+
+    def test_overflow_bucket_clamps_to_observed_max(self):
+        from repro.observability.metrics import BUCKET_EDGES
+
+        hist = Histogram()
+        huge = BUCKET_EDGES[-1] * 10.0
+        hist.observe(huge)
+        assert hist.buckets == {len(BUCKET_EDGES): 1}
+        assert hist.percentile(0.99) == huge
+
+    def test_identical_observations_identical_snapshots(self):
+        first, second = Histogram(), Histogram()
+        for value in (0.003, 1.0, 17.5, 17.5, 400.0):
+            first.observe(value)
+            second.observe(value)
+        assert first.snapshot() == second.snapshot()
+        assert first.summary() == second.summary()
+
+    def test_summary_is_snapshot_minus_bookkeeping(self):
+        hist = Histogram()
+        hist.observe(2.0)
+        snap, summary = hist.snapshot(), hist.summary()
+        assert set(summary) == {"count", "mean", "min", "max",
+                                "p50", "p90", "p99"}
+        for key in summary:
+            assert summary[key] == snap[key]
+
+
 class TestRegistry:
     def test_get_or_create(self):
         registry = MetricsRegistry()

@@ -198,6 +198,84 @@ class TestHistoryCommand:
         assert code == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_history_tolerates_truncated_log(self, tmp_path, capsys):
+        events = tmp_path / "run.jsonl"
+        assert main(["run", "wordcount", "--scale", "0.02", "--nodes", "2",
+                     "--events", str(events)]) == 0
+        capsys.readouterr()
+        lines = events.read_text().splitlines(keepends=True)
+        # Chop mid-run, leaving a torn final line: a crashed writer's log.
+        truncated = tmp_path / "crashed.jsonl"
+        truncated.write_text("".join(lines[:len(lines) // 2]) + '{"ts": 9')
+        assert main(["history", str(truncated)]) == 0
+        captured = capsys.readouterr()
+        assert "truncated" in captured.err
+        assert "never ended" in captured.err
+        assert "total runtime" in captured.out
+
+
+class TestProfileCommand:
+    def test_offline_profile_matches_live(self, tmp_path, capsys):
+        events = tmp_path / "run.jsonl"
+        live = tmp_path / "live.json"
+        offline = tmp_path / "offline.json"
+        assert main(["run", "wordcount", "--scale", "0.02", "--nodes", "2",
+                     "--events", str(events), "--profile", str(live)]) == 0
+        capsys.readouterr()
+        assert main(["profile", str(events), "--out", str(offline)]) == 0
+        assert live.read_bytes() == offline.read_bytes()
+        doc = json.loads(live.read_text())
+        assert doc["schema"] == "repro.profile/1"
+        assert doc["stages"] and doc["nodes"]
+
+    def test_profile_text_report(self, tmp_path, capsys):
+        events = tmp_path / "run.jsonl"
+        assert main(["run", "wordcount", "--scale", "0.02", "--nodes", "2",
+                     "--events", str(events), "--profile",
+                     str(tmp_path / "p.json")]) == 0
+        capsys.readouterr()
+        assert main(["profile", str(events)]) == 0
+        out = capsys.readouterr().out
+        assert "demand profile" in out
+        assert "distributions" in out
+        assert "executors" in out
+
+    def test_profile_json_mode(self, tmp_path, capsys):
+        events = tmp_path / "run.jsonl"
+        assert main(["run", "wordcount", "--scale", "0.02", "--nodes", "2",
+                     "--events", str(events)]) == 0
+        capsys.readouterr()
+        assert main(["profile", str(events), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.profile/1"
+        # Recorded without profiling: spans still profile, no node series.
+        assert doc["stages"] and doc["nodes"] == []
+
+    def test_profile_writes_counter_tracks(self, tmp_path, capsys):
+        from repro.observability.chrome import validate_chrome_trace
+
+        events = tmp_path / "run.jsonl"
+        tracks = tmp_path / "tracks.json"
+        assert main(["run", "wordcount", "--scale", "0.02", "--nodes", "2",
+                     "--events", str(events), "--profile",
+                     str(tmp_path / "p.json")]) == 0
+        assert main(["profile", str(events), "--trace", str(tracks)]) == 0
+        assert validate_chrome_trace(str(tracks)) > 0
+
+    def test_profile_missing_file_errors(self, tmp_path, capsys):
+        code = main(["profile", str(tmp_path / "absent.jsonl")])
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_sweep_profile_one_file_per_point(self, tmp_path, capsys):
+        profile = tmp_path / "sweep.json"
+        assert main(["sweep", "wordcount", "--scale", "0.02", "--nodes", "2",
+                     "--cores", "4", "--profile", str(profile)]) == 0
+        for threads in (4, 2):
+            path = tmp_path / f"sweep.t{threads}.json"
+            assert path.exists()
+            assert json.loads(path.read_text())["schema"] == "repro.profile/1"
+
 
 class TestBadInputs:
     def test_cores_zero_rejected_by_parser(self):
