@@ -31,6 +31,7 @@ from typing import List, Optional
 
 from repro.atomicio import atomic_write_json
 from repro.faults.plan import CANNED_PLANS, FaultPlan, FaultPlanError
+from repro.harness.fork import ForkBarrierNotReached, ForkUnavailableError
 from repro.harness.parallel import (
     QuarantinedConfigError,
     RunConfig,
@@ -73,18 +74,21 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--validate", action="store_true",
                      help="check engine invariants continuously during the "
                           "run (exit 1 on any violation)")
+    _fork_arg(run)
 
     compare = sub.add_parser(
         "compare", help="default vs static BestFit vs dynamic (Fig. 8)"
     )
     _common_args(compare)
     _parallel_arg(compare)
+    _fork_arg(compare)
 
     sweep = sub.add_parser(
         "sweep", help="static solution at each thread count (Fig. 2/4/10)"
     )
     _common_args(sweep)
     _parallel_arg(sweep)
+    _fork_arg(sweep)
     sweep.add_argument("--journal", metavar="PATH", default=None,
                        help="journal each finished point to PATH "
                             "(crash-safe; see --resume)")
@@ -188,6 +192,44 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--json", action="store_true",
                           help="emit the report as JSON instead of text")
 
+    whatif = sub.add_parser(
+        "whatif",
+        help="fork one run at t=T and compare alternative futures "
+             "(copy-on-write; see PERFORMANCE.md)",
+    )
+    whatif.add_argument("workload", choices=sorted(WORKLOADS))
+    whatif.add_argument("--at", type=float, required=True, metavar="SECS",
+                        help="fork point in simulated seconds")
+    whatif.add_argument("--alt", action="append", default=None,
+                        metavar="SPEC",
+                        help="an alternative future to try; repeatable. "
+                             "SPECs: continue | pool=N | "
+                             "policy=dynamic|default|fixed:N|static:N | "
+                             "conf:KEY=VALUE | faults=PLAN.json | "
+                             "reseed[=KEY] "
+                             "(a 'continue' baseline is added if missing)")
+    whatif.add_argument("--policy", choices=POLICY_CHOICES, default="default",
+                        help="base policy for the shared warm-up prefix")
+    whatif.add_argument("--threads", type=int, default=8,
+                        help="thread count for static/fixed base policies")
+    whatif.add_argument("--scale", type=float, default=1.0)
+    whatif.add_argument("--nodes", type=int, default=4)
+    whatif.add_argument("--cores", type=_positive_int, default=32)
+    whatif.add_argument("--device", choices=("hdd", "ssd"), default="hdd")
+    whatif.add_argument("--seed", type=int, default=42)
+    whatif.add_argument("--faults", metavar="PLAN.json", default=None,
+                        help="base fault plan for the shared prefix")
+    whatif.add_argument("--parallel", type=int, default=1, metavar="N",
+                        help="forked children to run at once (0 = one per "
+                             "core)")
+    whatif.add_argument("--no-fork", action="store_true",
+                        help="sequential re-simulation instead of forking "
+                             "(identical results, no shared warm-up)")
+    whatif.add_argument("--out", metavar="PATH", default=None,
+                        help="write the report JSON to PATH")
+    whatif.add_argument("--json", action="store_true",
+                        help="print the report as JSON instead of a table")
+
     sub.add_parser("list", help="list available workloads")
     return parser
 
@@ -223,6 +265,15 @@ def _parallel_arg(parser: argparse.ArgumentParser) -> None:
         "--parallel", type=int, default=1, metavar="N",
         help="fan independent runs out over N worker processes "
              "(0 = one per core); results are deterministic either way")
+
+
+def _fork_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fork", action="store_true",
+        help="run on the copy-on-write fork engine: simulate the setup "
+             "prefix once, continue each point in a forked child "
+             "(byte-identical results; falls back to sequential "
+             "re-simulation where os.fork is unavailable)")
 
 
 def _positive_int(text: str) -> int:
@@ -314,6 +365,8 @@ def cmd_list(_args) -> int:
 
 
 def cmd_run(args) -> int:
+    if args.fork:
+        return _cmd_run_forked(args)
     tracer = _build_tracer(args)
     monitor = None
     if args.validate:
@@ -336,6 +389,64 @@ def cmd_run(args) -> int:
             "workload": args.workload,
             "policy": args.policy,
             **run.ctx.recorder.summary_dict(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"{args.workload} [{args.policy}] finished in "
+          f"{run.runtime:.1f} simulated seconds\n")
+    rows = []
+    for stage in run.stages:
+        sizes = stage.final_pool_sizes()
+        rows.append(
+            (
+                stage.stage_id,
+                "I/O" if stage.is_io_marked else "shuffle",
+                stage.num_tasks,
+                f"{stage.duration:.1f}",
+                " ".join(str(sizes[e]) for e in sorted(sizes)),
+            )
+        )
+    print(render_table(
+        ["stage", "kind", "tasks", "duration (s)", "threads/executor"], rows
+    ))
+    return 0
+
+
+def _cmd_run_forked(args) -> int:
+    """``repro run --fork``: setup in the parent, the run in a forked child.
+
+    Mostly a determinism probe for the fork engine (CI diffs the child's
+    event log against a from-scratch run), since a single run has no
+    warm-up to share.  Results and output files are byte-identical to a
+    plain ``repro run``.
+    """
+    from repro.harness.fork import fork_map_runs
+
+    if args.validate:
+        raise ValueError("--validate requires an in-process run; "
+                         "drop --fork")
+    kwargs = _run_kwargs(args)
+    fault_plan = kwargs.pop("fault_plan", None)
+    workload_kwargs = kwargs.pop("workload_kwargs", {})
+    config = RunConfig(
+        workload=args.workload,
+        policy=_policy_spec(args),
+        key=args.workload,
+        workload_kwargs=workload_kwargs,
+        cluster_kwargs=kwargs,
+        fault_plan_doc=fault_plan.to_dict() if fault_plan else None,
+        events_path=args.events,
+        trace_path=args.trace,
+        profile_path=args.profile,
+        profile_interval=args.profile_interval,
+    )
+    run = fork_map_runs([config])[0]
+    if args.json:
+        payload = {
+            "command": "run",
+            "workload": args.workload,
+            "policy": args.policy,
+            **run.recorder.summary_dict(),
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
@@ -405,15 +516,23 @@ def _run_sweep_durable(args, thread_counts) -> dict:
 
 
 def _run_sweep(args, thread_counts) -> dict:
-    """Dispatch a static sweep sequentially or over worker processes."""
+    """Dispatch a static sweep sequentially, over workers, or forked."""
+    fork = getattr(args, "fork", False)
     if (getattr(args, "journal", None) or getattr(args, "resume", False)
             or getattr(args, "run_timeout", None) is not None
             or getattr(args, "stop_after", None) is not None):
+        if fork:
+            raise ValueError(
+                "--fork does not combine with the durable-sweep options "
+                "(--journal/--resume/--run-timeout/--stop-after); forked "
+                "children are not journaled"
+            )
         return _run_sweep_durable(args, thread_counts)
     parallel = resolve_parallel(args.parallel)
-    if parallel > 1:
+    if parallel > 1 or fork:
         return static_sweep(
             args.workload, thread_counts=thread_counts, parallel=parallel,
+            fork=fork,
             events_path_factory=(
                 (lambda t: _suffix_path(args.events, f"t{t}"))
                 if args.events else None
@@ -483,7 +602,7 @@ def cmd_compare(args) -> int:
     # run doubles as the "Default Spark" baseline (no hardcoded 32).
     default = sweep[default_threads]
 
-    if parallel > 1:
+    if parallel > 1 or args.fork:
         kwargs = _run_kwargs(args)
         fault_plan = kwargs.pop("fault_plan", None)
         workload_kwargs = kwargs.pop("workload_kwargs", {})
@@ -508,7 +627,12 @@ def cmd_compare(args) -> int:
                 ("dynamic", "dynamic"),
             )
         ]
-        bestfit, dynamic = map_runs(configs, parallel)
+        if args.fork:
+            from repro.harness.fork import fork_map_runs
+
+            bestfit, dynamic = fork_map_runs(configs, parallel=parallel)
+        else:
+            bestfit, dynamic = map_runs(configs, parallel)
     else:
         kwargs = _run_kwargs(args)
         tracer = _build_tracer(args, "bestfit")
@@ -615,6 +739,63 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_whatif(args) -> int:
+    from repro.harness.fork import (
+        fork_available,
+        parse_alternative,
+        run_whatif,
+    )
+
+    specs = list(args.alt or [])
+    if "continue" not in specs:
+        specs.insert(0, "continue")
+    alternatives = [parse_alternative(spec) for spec in specs]
+    kwargs = _run_kwargs(args)
+    fault_plan = kwargs.pop("fault_plan", None)
+    workload_kwargs = kwargs.pop("workload_kwargs", {})
+    use_fork = None if not args.no_fork else False
+    report = run_whatif(
+        args.workload,
+        at=args.at,
+        alternatives=alternatives,
+        policy=_policy_spec(args),
+        workload_kwargs=workload_kwargs,
+        fault_plan=fault_plan,
+        parallel=resolve_parallel(args.parallel),
+        use_fork=use_fork,
+        **kwargs,
+    )
+    doc = report.to_dict()
+    if args.out:
+        atomic_write_json(args.out, doc)
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    mode = "forked" if report.forked else "sequential re-simulation"
+    if not report.forked and not args.no_fork and not fork_available():
+        mode += " (os.fork unavailable)"
+    print(f"{args.workload}: forked at t={args.at:g}s into "
+          f"{len(alternatives)} future(s) [{mode}]\n")
+    rows = []
+    for row in doc["alternatives"]:
+        if row.get("quarantined"):
+            rows.append((row["key"], "quarantined", "--"))
+            continue
+        delta = row.get("vs_continue")
+        rows.append(
+            (
+                row["key"],
+                f"{row['runtime']:.1f}",
+                "--" if delta is None or row["kind"] == "continue"
+                else f"{delta:+.1%}",
+            )
+        )
+    print(render_table(["alternative", "runtime (s)", "vs continue"], rows))
+    if args.out:
+        print(f"\nwrote report to {args.out}")
+    return 0
+
+
 def cmd_bench(args) -> int:
     from repro.harness.bench import check_regression, run_suite
 
@@ -631,6 +812,11 @@ def cmd_bench(args) -> int:
     sweep = doc["benchmarks"]["sweep"]
     print(f"\nsweep: {sweep['points']} points, {sweep['workers']} worker(s), "
           f"speedup {sweep['speedup']:.2f}x over sequential")
+    fork_sweep = doc["benchmarks"].get("fork_sweep")
+    if fork_sweep is not None and fork_sweep.get("forked_wall_s"):
+        print(f"fork sweep: {fork_sweep['points']} futures forked at "
+              f"t={fork_sweep['fork_at_s']:.0f}s, speedup "
+              f"{fork_sweep['speedup']:.2f}x over sequential re-simulation")
     overhead = doc["benchmarks"].get("profiler_overhead")
     if overhead is not None:
         print(f"profiler overhead: {overhead['overhead_frac']:+.1%} wall "
@@ -641,10 +827,17 @@ def cmd_bench(args) -> int:
         failures = check_regression(doc, baseline, tolerance=args.tolerance)
         if failures:
             # Standard perf-gate retry: a real regression reproduces on a
-            # fresh suite run, a scheduler-noise spike does not.
-            print(f"\nbelow baseline on first pass, re-measuring: "
-                  f"{'; '.join(failures)}", file=sys.stderr)
-            doc = run_suite(smoke=args.smoke, parallel=args.parallel)
+            # fresh measurement, a scheduler-noise spike does not.  Only
+            # the failing benchmark(s) are re-measured -- re-running the
+            # whole suite would give every *passing* benchmark a fresh
+            # chance to flake and cost minutes on a one-benchmark blip.
+            failing = sorted({f.split(":", 1)[0] for f in failures})
+            print(f"\nbelow baseline on first pass, re-measuring "
+                  f"{', '.join(failing)}: {'; '.join(failures)}",
+                  file=sys.stderr)
+            retry = run_suite(smoke=args.smoke, parallel=args.parallel,
+                              only=failing)
+            doc["benchmarks"].update(retry["benchmarks"])
             atomic_write_json(args.out, doc)
             failures = check_regression(doc, baseline,
                                         tolerance=args.tolerance)
@@ -861,6 +1054,7 @@ COMMANDS = {
     "history": cmd_history,
     "profile": cmd_profile,
     "validate": cmd_validate,
+    "whatif": cmd_whatif,
 }
 
 
@@ -876,6 +1070,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"sweep interrupted: {exc}", file=sys.stderr)
         return 3
     except QuarantinedConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except (ForkBarrierNotReached, ForkUnavailableError) as exc:
+        # Barrier past the end of the run, fork on an unsupported platform.
         print(f"error: {exc}", file=sys.stderr)
         return 1
     except FaultPlanError as exc:

@@ -91,14 +91,16 @@ class SparkContext:
         self.scheduler = TaskScheduler(self)
         self.dag = DAGScheduler(self)
         self._next_rdd_id = 0
+        #: Divergence barrier (see :mod:`repro.harness.fork`): when set, the
+        #: first job whose execution spans ``fork_hook_at`` pauses there and
+        #: calls ``fork_hook(self)`` -- the seam through which the fork
+        #: engine turns one warm prefix into many copy-on-write children.
+        self.fork_hook: Optional[Callable[["SparkContext"], None]] = None
+        self.fork_hook_at: float = 0.0
         if policy_factory is not None:
             self.set_policy_factory(policy_factory)
         if fault_plan is not None:
-            # Imported lazily: repro.faults depends on engine types.
-            from repro.faults import FaultInjector
-
-            self.faults = FaultInjector(self, fault_plan)
-            self.faults.wire()
+            self.install_fault_plan(fault_plan)
 
     # -- wiring ------------------------------------------------------------------
 
@@ -119,6 +121,41 @@ class SparkContext:
             device=self.cluster.nodes[0].disk.profile.name
             if self.cluster.nodes else "",
         )
+
+    def attach_tracer(self, tracer: Tracer) -> None:
+        """Wire a tracer into a context built without one.
+
+        The copy-on-write fork engine builds the shared prefix untraced
+        (children must not inherit open sink file handles) and each child
+        attaches its own tracer here, at the divergence barrier.  Nothing
+        in the engine captures ``ctx.tracer`` by value and the prefix emits
+        no events, so a log started here is byte-identical to one wired at
+        construction -- the golden-log tests hold the fork engine to that.
+        """
+        if self.tracer.enabled:
+            raise ValueError("context already has an enabled tracer")
+        self.tracer = tracer
+        self._wire_tracer()
+        self.profiling = self.tracer.enabled and any(
+            getattr(sink, "is_profiler", False) for sink in self.tracer.sinks
+        )
+
+    def install_fault_plan(self, fault_plan) -> None:
+        """Arm a fault plan: build the injector and schedule its timers.
+
+        Called at construction for ordinary runs, and at the divergence
+        barrier by forked children trying fault ablations against a shared
+        fault-free prefix.  Timer scheduling goes through
+        :meth:`Simulator.call_at`, so a plan whose faults predate the
+        barrier time fails loudly instead of silently firing late.
+        """
+        if self.faults is not None:
+            raise ValueError("context already has a fault plan installed")
+        # Imported lazily: repro.faults depends on engine types.
+        from repro.faults import FaultInjector
+
+        self.faults = FaultInjector(self, fault_plan)
+        self.faults.wire()
 
     def set_policy_factory(self, factory: PolicyFactory) -> None:
         for executor in self.executors:
@@ -188,6 +225,15 @@ class SparkContext:
             return results
 
         handle = self.sim.process(job(), name=f"job-{rdd.name}")
+        if self.fork_hook is not None:
+            # Fire the divergence barrier inside the job that spans its
+            # time point; a job that finishes first leaves the hook armed
+            # for the next one (fork_barrier stops without advancing the
+            # clock, so pending fault timers are untouched).
+            if (self.fork_hook_at <= self.sim.now
+                    or self.sim.fork_barrier(self.fork_hook_at, stop=handle)):
+                hook, self.fork_hook = self.fork_hook, None
+                hook(self)
         if self.faults is None:
             self.sim.run()
         else:

@@ -255,11 +255,102 @@ def bench_sweep(parallel: int = 0, smoke: bool = False) -> Dict[str, Any]:
     }
 
 
+def bench_fork_sweep(smoke: bool = False) -> Dict[str, Any]:
+    """Copy-on-write fork engine vs sequential re-simulation.
+
+    A warm-up-heavy what-if fan-out: one terasort run simulated to ~85% of
+    its runtime, then forked into an 8-member reseed ensemble (each child
+    explores an independently decorrelated stochastic future -- equal
+    remaining work per child, so the measurement isolates warm-up
+    sharing).  The sequential pass re-simulates the warm-up prefix once
+    per alternative (8 full runs); the forked pass simulates it once and
+    continues each future in a copy-on-write child -- so even on a
+    single-core host the speedup approaches ``n / (f + n*(1-f))`` for
+    warm-up fraction ``f``.  Results are byte-identical either way (the
+    golden-log tests enforce it); this benchmark gates only the
+    throughput win, via ``runs_per_min`` of the forked configuration.
+    """
+    from repro.harness.fork import Alternative, fork_available, run_whatif
+    from repro.harness.runner import run_workload
+
+    scale = 0.01 if smoke else 0.02
+    kwargs = dict(workload_kwargs={"scale": scale})
+    alternatives = [
+        Alternative(key=f"reseed={index}", kind="reseed", value=str(index))
+        for index in range(8)
+    ]
+    # Calibrate the barrier off one untimed run: ~85% of the simulated
+    # runtime, i.e. the sweep's shareable warm-up prefix.
+    runtime = run_workload("terasort", **kwargs).runtime
+    at = 0.85 * runtime
+
+    start = time.perf_counter()
+    run_whatif("terasort", at=at, alternatives=alternatives,
+               use_fork=False, **kwargs)
+    sequential_wall = time.perf_counter() - start
+
+    forked_wall = None
+    if fork_available():
+        start = time.perf_counter()
+        run_whatif("terasort", at=at, alternatives=alternatives,
+                   use_fork=True, **kwargs)
+        forked_wall = time.perf_counter() - start
+
+    points = len(alternatives)
+    return {
+        "points": points,
+        "scale": scale,
+        "fork_at_s": at,
+        "fork_available": forked_wall is not None,
+        "sequential_wall_s": sequential_wall,
+        "forked_wall_s": forked_wall,
+        "speedup": (
+            sequential_wall / forked_wall if forked_wall else 0.0
+        ),
+        "events_per_sec": None,  # harness metric; gate on runs_per_min
+        "runs_per_min": (
+            60.0 * points / forked_wall if forked_wall else None
+        ),
+    }
+
+
 # -- suite -----------------------------------------------------------------
 
+#: Registry behind ``repro bench``: name -> ``fn(smoke, parallel)``.
+#: ``repro bench --check`` retries *individual* failing benchmarks through
+#: :func:`run_suite`'s ``only`` filter, so entries must be independently
+#: runnable in any order.
+BENCHMARKS: Dict[str, Callable[[bool, int], Dict[str, Any]]] = {
+    "kernel_terasort": lambda smoke, parallel: bench_kernel_terasort(smoke=smoke),
+    "kernel_storm": lambda smoke, parallel: bench_kernel_storm(smoke=smoke),
+    "e2e_terasort": lambda smoke, parallel: bench_end_to_end(
+        "terasort", smoke=smoke),
+    "e2e_pagerank": lambda smoke, parallel: bench_end_to_end(
+        "pagerank", smoke=smoke),
+    "profiler_overhead": lambda smoke, parallel: bench_profiler_overhead(
+        smoke=smoke),
+    "sweep": lambda smoke, parallel: bench_sweep(
+        parallel=parallel, smoke=smoke),
+    "fork_sweep": lambda smoke, parallel: bench_fork_sweep(smoke=smoke),
+}
 
-def run_suite(smoke: bool = False, parallel: int = 0) -> Dict[str, Any]:
-    """Run every benchmark and assemble the ``BENCH_kernel.json`` document."""
+
+def run_suite(smoke: bool = False, parallel: int = 0,
+              only: Optional[List[str]] = None) -> Dict[str, Any]:
+    """Run benchmarks and assemble the ``BENCH_kernel.json`` document.
+
+    ``only`` restricts the run to the named benchmarks (registry order is
+    preserved); the default runs the full suite.
+    """
+    if only is not None:
+        unknown = sorted(set(only) - set(BENCHMARKS))
+        if unknown:
+            raise ValueError(
+                f"unknown benchmark(s) {unknown}; "
+                f"expected a subset of {sorted(BENCHMARKS)}"
+            )
+    selected = [name for name in BENCHMARKS
+                if only is None or name in set(only)]
     return {
         "schema": BENCH_SCHEMA,
         "mode": "smoke" if smoke else "full",
@@ -269,12 +360,7 @@ def run_suite(smoke: bool = False, parallel: int = 0) -> Dict[str, Any]:
             "platform": sys.platform,
         },
         "benchmarks": {
-            "kernel_terasort": bench_kernel_terasort(smoke=smoke),
-            "kernel_storm": bench_kernel_storm(smoke=smoke),
-            "e2e_terasort": bench_end_to_end("terasort", smoke=smoke),
-            "e2e_pagerank": bench_end_to_end("pagerank", smoke=smoke),
-            "profiler_overhead": bench_profiler_overhead(smoke=smoke),
-            "sweep": bench_sweep(parallel=parallel, smoke=smoke),
+            name: BENCHMARKS[name](smoke, parallel) for name in selected
         },
     }
 

@@ -85,16 +85,21 @@ def fig1_cpu_iowait(scale: float = 1.0) -> Dict[str, List[dict]]:
 
 
 def fig2_static_sweep(workload: str, scale: float = 1.0,
-                      device: str = "hdd", parallel: int = 1) -> dict:
+                      device: str = "hdd", parallel: int = 1,
+                      fork: bool = False) -> dict:
     """Figs. 2/4/10: the static solution at each thread count + BestFit.
 
     ``parallel`` spreads the sweep's independent points over worker
     processes; the result dict is identical either way (parallel runs hand
     back the full per-run recorder, so Fig. 5's utilisation analysis keeps
-    working on ``_sweep_runs``).
+    working on ``_sweep_runs``).  ``fork=True`` runs the sweep on the
+    copy-on-write fork engine instead: the setup prefix is simulated once
+    and each thread count diverges in a forked child (same summaries,
+    shared warm-up).
     """
     sweep = static_sweep(workload, THREAD_COUNTS, device=device,
-                         workload_kwargs={"scale": scale}, parallel=parallel)
+                         workload_kwargs={"scale": scale}, parallel=parallel,
+                         fork=fork)
     bestfit_sizes = derive_bestfit(sweep, DEFAULT_THREADS)
     bestfit = run_workload(workload, policy=("bestfit", bestfit_sizes),
                            device=device, workload_kwargs={"scale": scale})
@@ -262,10 +267,16 @@ def _hill_climb_selection(series: dict, tolerance: float = 2.0) -> int:
 
 def fig8_end_to_end(workload: str, scale: float = 1.0,
                     device: str = "hdd",
-                    sweep_result: Optional[dict] = None) -> dict:
-    """Figs. 8/11: default vs static BestFit vs dynamic."""
+                    sweep_result: Optional[dict] = None,
+                    fork: bool = False) -> dict:
+    """Figs. 8/11: default vs static BestFit vs dynamic.
+
+    ``fork=True`` applies to the embedded static sweep (ignored when a
+    pre-computed ``sweep_result`` is supplied).
+    """
     if sweep_result is None:
-        sweep_result = fig2_static_sweep(workload, scale=scale, device=device)
+        sweep_result = fig2_static_sweep(workload, scale=scale, device=device,
+                                         fork=fork)
     default_run = sweep_result["_sweep_runs"][DEFAULT_THREADS]
     bestfit_sizes = sweep_result["bestfit_sizes"]
     bestfit_run = run_workload(workload, policy=("bestfit", bestfit_sizes),

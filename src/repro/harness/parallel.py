@@ -24,6 +24,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+import warnings
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -39,6 +40,30 @@ def resolve_parallel(parallel: Optional[int]) -> int:
     if parallel < 0:
         raise ValueError(f"parallel must be >= 0, got {parallel}")
     return parallel
+
+
+def pool_context() -> multiprocessing.context.BaseContext:
+    """The multiprocessing context every harness pool uses: ``fork``.
+
+    Pinned explicitly rather than trusting the platform default: ``fork``
+    workers start in milliseconds from the parent's warm interpreter (no
+    re-import, no re-pickle of module state), which keeps parallel-sweep
+    startup consistent with the copy-on-write fork engine
+    (:mod:`repro.harness.fork`).  On platforms without the ``fork`` start
+    method (Windows; macOS deprecations notwithstanding, ``fork`` is still
+    registered there) we fall back to ``spawn`` with a warning -- runs stay
+    correct, worker startup just costs a fresh interpreter each.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        warnings.warn(
+            "multiprocessing 'fork' start method unavailable on this "
+            "platform; falling back to 'spawn' (slower worker startup)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return multiprocessing.get_context("spawn")
 
 
 @dataclass(frozen=True)
@@ -113,15 +138,13 @@ class _RecorderView:
     recorder: RunRecorder
 
 
-def execute_run_config(config: RunConfig) -> RunSummary:
-    """Run one config to completion; the pool's worker entry point.
+def build_run_tracer(config: RunConfig):
+    """``(tracer, profiler)`` for one config's requested outputs (or Nones).
 
-    Imports stay inside the function so a worker only pays for what the
-    run actually uses (and so this module stays import-light for the
-    parent process).
+    Shared by the pool worker entry point below and the fork engine's
+    children (:mod:`repro.harness.fork`), so a forked run writes exactly
+    the files a pooled run with the same config would.
     """
-    from repro.faults.plan import FaultPlan
-    from repro.harness.runner import finish_trace, run_workload
     from repro.observability.chrome import ChromeTraceSink
     from repro.observability.profiler import ProfilerSink
     from repro.observability.sinks import JsonLinesSink
@@ -137,7 +160,34 @@ def execute_run_config(config: RunConfig) -> RunSummary:
         profiler = ProfilerSink(interval=config.profile_interval,
                                 out=config.profile_path)
         sinks.append(profiler)
-    tracer = Tracer(sinks=sinks) if sinks else None
+    return (Tracer(sinks=sinks) if sinks else None), profiler
+
+
+def summarize_run(run, key: Any, profiler=None) -> RunSummary:
+    """The picklable summary of a finished run (pool and fork paths)."""
+    return RunSummary(
+        workload=run.workload,
+        key=key,
+        runtime=run.runtime,
+        recorder=run.ctx.recorder,
+        cluster_io_bytes=run.cluster_io_bytes,
+        demand_profile=(
+            profiler.demand_profile() if profiler is not None else None
+        ),
+    )
+
+
+def execute_run_config(config: RunConfig) -> RunSummary:
+    """Run one config to completion; the pool's worker entry point.
+
+    Imports stay inside the function so a worker only pays for what the
+    run actually uses (and so this module stays import-light for the
+    parent process).
+    """
+    from repro.faults.plan import FaultPlan
+    from repro.harness.runner import finish_trace, run_workload
+
+    tracer, profiler = build_run_tracer(config)
 
     fault_plan = None
     if config.fault_plan_doc is not None:
@@ -154,16 +204,7 @@ def execute_run_config(config: RunConfig) -> RunSummary:
     )
     if tracer is not None:
         finish_trace(run)
-    return RunSummary(
-        workload=run.workload,
-        key=config.key,
-        runtime=run.runtime,
-        recorder=run.ctx.recorder,
-        cluster_io_bytes=run.cluster_io_bytes,
-        demand_profile=(
-            profiler.demand_profile() if profiler is not None else None
-        ),
-    )
+    return summarize_run(run, config.key, profiler)
 
 
 def map_runs(configs: List[RunConfig], parallel: int = 1) -> List[RunSummary]:
@@ -178,7 +219,8 @@ def map_runs(configs: List[RunConfig], parallel: int = 1) -> List[RunSummary]:
     if parallel <= 1 or len(configs) <= 1:
         return [execute_run_config(config) for config in configs]
     workers = min(parallel, len(configs))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    with ProcessPoolExecutor(max_workers=workers,
+                             mp_context=pool_context()) as pool:
         return list(pool.map(execute_run_config, configs))
 
 
@@ -369,7 +411,8 @@ def map_runs_durable(
 def _run_worker_pool(configs, pending, parallel, timeout, max_attempts,
                      backoff, record, quarantine) -> None:
     """Watchdogged worker-process pool with retry/backoff scheduling."""
-    queue: Any = multiprocessing.Queue()
+    mp = pool_context()
+    queue: Any = mp.Queue()
     waiting = deque(_Attempt(index) for index in pending)
     running: Dict[int, tuple] = {}  # index -> (process, deadline, attempt)
     resolved: set = set()
@@ -438,7 +481,7 @@ def _run_worker_pool(configs, pending, parallel, timeout, max_attempts,
                 if attempt.ready_at > now:
                     waiting.append(attempt)  # still backing off; rotate
                     continue
-                process = multiprocessing.Process(
+                process = mp.Process(
                     target=_durable_worker,
                     args=(attempt.index, configs[attempt.index], queue),
                 )

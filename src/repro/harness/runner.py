@@ -162,6 +162,7 @@ def static_sweep(
     conf_overrides: Optional[Dict[str, Any]] = None,
     tracer_factory: Optional[Callable[[int], Optional[Tracer]]] = None,
     parallel: int = 1,
+    fork: bool = False,
     events_path_factory: Optional[Callable[[int], str]] = None,
     trace_path_factory: Optional[Callable[[int], str]] = None,
     profile_path_factory: Optional[Callable[[int], str]] = None,
@@ -182,8 +183,16 @@ def static_sweep(
     records, no simulator.  Event/trace outputs then come from
     ``events_path_factory(threads)`` / ``trace_path_factory(threads)``
     (in-process ``tracer_factory`` objects cannot cross the pool boundary).
+
+    With ``fork=True`` the sweep instead runs on the copy-on-write fork
+    engine (:func:`repro.harness.fork.fork_map_runs`): the shared prefix
+    -- cluster build, context wiring, dataset registration -- is simulated
+    once and each thread count continues in a forked child, at most
+    ``parallel`` at a time.  Results are the same picklable summaries the
+    pool path returns, byte-identical to from-scratch runs.  Falls back to
+    sequential re-simulation where ``os.fork`` is unavailable.
     """
-    if parallel > 1:
+    if parallel > 1 or fork:
         from repro.harness.parallel import RunConfig, map_runs
 
         if tracer_factory is not None:
@@ -217,7 +226,13 @@ def static_sweep(
             )
             for threads in thread_counts
         ]
-        return {summary.key: summary for summary in map_runs(configs, parallel)}
+        if fork:
+            from repro.harness.fork import fork_map_runs
+
+            summaries = fork_map_runs(configs, parallel=parallel)
+        else:
+            summaries = map_runs(configs, parallel)
+        return {summary.key: summary for summary in summaries}
 
     runs: Dict[int, WorkloadRun] = {}
     for threads in thread_counts:

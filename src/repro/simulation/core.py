@@ -343,6 +343,11 @@ class Simulator:
         self._now = 0.0
         self._queue: List[tuple] = []
         self._sequence = 0
+        self._fork_hooks: List[Callable[[str], None]] = []
+        #: Divergence key set by :meth:`after_fork`; ``None`` in a simulator
+        #: that has never crossed a fork barrier.  Diagnostic only -- it
+        #: must never feed back into the timeline.
+        self.forked_from: Optional[str] = None
         self._tracer: Optional[Any] = None
         #: Cached ``tracer is not None and tracer.enabled``, so the untraced
         #: hot path (one check per process spawn) costs a single boolean
@@ -449,6 +454,58 @@ class Simulator:
             # A failed event nobody waited on would silently swallow the
             # error; surface it instead ("errors should never pass silently").
             raise event.value
+
+    # -- snapshot/fork support --------------------------------------------
+
+    def on_fork(self, hook: Callable[[str], None]) -> None:
+        """Register ``hook(child_key)`` to run in a forked child.
+
+        Hooks fire inside :meth:`after_fork`, in registration order, once
+        per OS-level copy-on-write child the fork engine spawns from this
+        simulator (see :mod:`repro.harness.fork`).  Embedders use this for
+        divergence bookkeeping that must happen before the child schedules
+        anything -- e.g. reseeding named random streams for experiments
+        that *want* divergent futures.  By default nothing is registered,
+        so a forked child replays the exact timeline a from-scratch run of
+        the same configuration would produce.
+        """
+        self._fork_hooks.append(hook)
+
+    def after_fork(self, child_key: str) -> None:
+        """Run post-fork hooks; called in the child right after ``os.fork``.
+
+        Deterministic: the same ``child_key`` always produces the same hook
+        effects, so a forked run can be reproduced from scratch.
+        """
+        self.forked_from = child_key
+        for hook in self._fork_hooks:
+            hook(child_key)
+
+    def fork_barrier(self, until: float, stop: Optional["Event"] = None) -> bool:
+        """Run the shared prefix up to the divergence point.
+
+        Processes every event scheduled at or before ``until`` (exactly the
+        events :meth:`run` with the same bound would process) and then
+        advances the clock to ``until``, leaving later events queued.  If
+        ``stop`` triggers first -- e.g. the job being warmed up finishes
+        before the barrier time -- the prefix run stops there and the clock
+        is *not* advanced.  Returns ``True`` when the barrier was reached,
+        ``False`` when ``stop`` cut it short.
+        """
+        if until < self._now:
+            raise SimulationError(
+                f"fork barrier lies in the past: {until} < {self._now}"
+            )
+        while self._queue:
+            if stop is not None and stop.triggered:
+                return False
+            if self._queue[0][0] > until:
+                break
+            self.step()
+        if stop is not None and stop.triggered:
+            return False
+        self._now = until
+        return True
 
     def run_until(self, event: "Event") -> None:
         """Run until ``event`` triggers (or the queue drains).

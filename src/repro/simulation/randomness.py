@@ -50,3 +50,25 @@ class RandomStreams:
         """Derive a child factory (e.g. one per experiment repetition)."""
         digest = hashlib.sha256(f"{self.seed}:fork:{name}".encode("utf-8")).digest()
         return RandomStreams(int.from_bytes(digest[:8], "big"))
+
+    def reseed_for_fork(self, child_key: str) -> None:
+        """Re-derive every stream for a copy-on-write forked child.
+
+        A child created by ``os.fork()`` inherits the parent's stream
+        states mid-sequence, which is exactly right for deterministic
+        divergences (the forked timeline must match a from-scratch run of
+        the same configuration byte for byte).  Experiments that instead
+        want *independent* stochastic futures per child -- e.g. what-if
+        rollouts exploring noise -- opt in by calling this with the child's
+        divergence key: the master seed and all existing streams are
+        re-derived from ``(seed, child_key)``, so the same key always
+        yields the same streams (reproducible) while different keys yield
+        decorrelated ones.  Draws already consumed are not replayed.
+        """
+        token = f"{self.seed}:postfork:{child_key}".encode("utf-8")
+        self.seed = int.from_bytes(hashlib.sha256(token).digest()[:8], "big")
+        for name, stream in self._streams.items():
+            digest = hashlib.sha256(
+                f"{self.seed}:{name}".encode("utf-8")
+            ).digest()
+            stream.seed(int.from_bytes(digest[:8], "big"))

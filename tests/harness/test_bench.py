@@ -98,9 +98,10 @@ class TestSuiteShape:
         assert doc["schema"] == bench.BENCH_SCHEMA
         assert doc["mode"] == "smoke"
         expected = {"kernel_terasort", "kernel_storm", "e2e_terasort",
-                    "e2e_pagerank", "profiler_overhead", "sweep"}
+                    "e2e_pagerank", "profiler_overhead", "sweep",
+                    "fork_sweep"}
         assert set(doc["benchmarks"]) == expected
-        for name in expected - {"sweep", "profiler_overhead"}:
+        for name in expected - {"sweep", "profiler_overhead", "fork_sweep"}:
             assert doc["benchmarks"][name]["events_per_sec"] > 0
         sweep = doc["benchmarks"]["sweep"]
         assert sweep["points"] == 8
@@ -110,5 +111,82 @@ class TestSuiteShape:
         # a profiled run schedules at least as many events as the baseline.
         assert overhead["events_per_sec"] is None
         assert overhead["events"] >= overhead["baseline_events"] > 0
+        fork_sweep = doc["benchmarks"]["fork_sweep"]
+        assert fork_sweep["points"] == 8
+        if fork_sweep["fork_available"]:
+            assert fork_sweep["runs_per_min"] > 0
+            assert fork_sweep["speedup"] > 0
         # The suite gates against itself: a doc never regresses vs itself.
         assert bench.check_regression(doc, doc) == []
+
+    def test_only_filters_suite(self):
+        doc = bench.run_suite(smoke=True, only=["kernel_storm"])
+        assert set(doc["benchmarks"]) == {"kernel_storm"}
+
+    def test_only_preserves_registry_order(self):
+        doc = bench.run_suite(smoke=True,
+                              only=["kernel_storm", "kernel_terasort"])
+        assert list(doc["benchmarks"]) == ["kernel_terasort", "kernel_storm"]
+
+    def test_only_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            bench.run_suite(smoke=True, only=["no_such_bench"])
+
+
+class TestCheckRetriesOnlyFailing(object):
+    """``repro bench --check`` must re-measure just the failing
+    benchmark(s): re-running the whole suite gives every passing benchmark
+    a fresh chance to flake and costs minutes on a one-benchmark blip."""
+
+    def test_retry_scope(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        calls = {"stable": 0, "flaky": 0}
+
+        def stable(smoke, parallel):
+            calls["stable"] += 1
+            return {"events_per_sec": 100.0, "wall_s": 0.1}
+
+        def flaky(smoke, parallel):
+            # Below baseline on the first measurement, recovered on retry.
+            calls["flaky"] += 1
+            rate = 10.0 if calls["flaky"] == 1 else 100.0
+            return {"events_per_sec": rate, "wall_s": 0.1}
+
+        registry = {"stable": stable, "flaky": flaky,
+                    "sweep": lambda smoke, parallel: {
+                        "events_per_sec": None, "runs_per_min": 60.0,
+                        "points": 1, "workers": 1, "speedup": 1.0,
+                        "parallel_wall_s": 0.1}}
+        monkeypatch.setattr(bench, "BENCHMARKS", registry)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            '{"benchmarks": {"stable": {"events_per_sec": 100.0}, '
+            '"flaky": {"events_per_sec": 100.0}}}'
+        )
+        code = main(["bench", "--smoke", "--out",
+                     str(tmp_path / "out.json"), "--check", str(baseline)])
+        capsys.readouterr()
+        assert code == 0
+        assert calls["flaky"] == 2   # re-measured
+        assert calls["stable"] == 1  # NOT re-measured
+
+    def test_persistent_regression_still_fails(self, tmp_path, monkeypatch,
+                                               capsys):
+        from repro.cli import main
+
+        registry = {"slow": lambda smoke, parallel: {
+                        "events_per_sec": 10.0, "wall_s": 0.1},
+                    "sweep": lambda smoke, parallel: {
+                        "events_per_sec": None, "runs_per_min": 60.0,
+                        "points": 1, "workers": 1, "speedup": 1.0,
+                        "parallel_wall_s": 0.1}}
+        monkeypatch.setattr(bench, "BENCHMARKS", registry)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            '{"benchmarks": {"slow": {"events_per_sec": 100.0}}}'
+        )
+        code = main(["bench", "--smoke", "--out",
+                     str(tmp_path / "out.json"), "--check", str(baseline)])
+        assert code == 1
+        assert "PERF REGRESSION" in capsys.readouterr().err
