@@ -51,6 +51,11 @@ from repro.observability.chrome import ChromeTraceSink
 from repro.observability.history import load_events, reconstruct
 from repro.observability.sinks import JsonLinesSink
 from repro.observability.tracer import Tracer
+from repro.workloads.arrivals import (
+    CANNED_PLANS as CANNED_ARRIVALS,
+    ArrivalPlan,
+    ArrivalPlanError,
+)
 from repro.workloads.catalog import WORKLOADS, workload_names
 
 POLICY_CHOICES = ("default", "dynamic", "static", "fixed")
@@ -229,6 +234,78 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the report JSON to PATH")
     whatif.add_argument("--json", action="store_true",
                         help="print the report as JSON instead of a table")
+
+    serve = sub.add_parser(
+        "serve",
+        help="multi-tenant cluster service: arrival plan in, "
+             "repro.service/1 SLO report out (see SERVICE.md)",
+    )
+    serve.add_argument("--plan", metavar="PLAN.json", required=True,
+                       help="repro.arrivals/1 plan (see 'repro arrivals')")
+    serve.add_argument("--scheduler", choices=("fifo", "fair", "wfair"),
+                       default="fifo",
+                       help="cluster queue discipline (default fifo)")
+    serve.add_argument("--nodes", type=int, default=4,
+                       help="total executor slots shared by all tenants")
+    serve.add_argument("--cores", type=_positive_int, default=32,
+                       help="virtual cores per node for the inner runs")
+    serve.add_argument("--device", choices=("hdd", "ssd"), default="hdd")
+    serve.add_argument("--seed", type=int, default=None,
+                       help="override the plan's arrival seed")
+    serve.add_argument("--max-queue", type=int, default=None, metavar="N",
+                       help="admission control: reject arrivals once N jobs "
+                            "queue (default: admit everything)")
+    serve.add_argument("--faults", metavar="PLAN.json", default=None,
+                       help="inject this fault plan into every inner run")
+    serve.add_argument("--events", metavar="PATH", default=None,
+                       help="per-job JSONL event logs (out.j0007.jsonl; a "
+                            "single-job plan writes PATH exactly)")
+    serve.add_argument("--trace", metavar="PATH", default=None,
+                       help="per-job Chrome trace_event JSON for Perfetto")
+    serve.add_argument("--profile", metavar="PATH", default=None,
+                       help="per-job demand-profile JSON (see 'repro profile')")
+    serve.add_argument("--profile-interval", type=float, default=1.0,
+                       metavar="SECS",
+                       help="profiler sampling grid in simulated seconds")
+    _parallel_arg(serve)
+    serve.add_argument("--out", metavar="PATH", default=None,
+                       help="write the repro.service/1 report JSON to PATH")
+    serve.add_argument("--json", action="store_true",
+                       help="print the report as JSON instead of tables")
+
+    arrivals = sub.add_parser(
+        "arrivals", help="arrival-plan utilities (see SERVICE.md)"
+    )
+    arrivals_sub = arrivals.add_subparsers(dest="arrivals_command",
+                                           required=True)
+    agen = arrivals_sub.add_parser(
+        "generate", help="write a canned arrival plan as JSON"
+    )
+    agen.add_argument("kind", choices=sorted(CANNED_ARRIVALS))
+    agen.add_argument("--out", metavar="PATH", default=None,
+                      help="output path (default: stdout)")
+    agen.add_argument("--tenants", type=int, default=None,
+                      help="number of identical tenants (poisson)")
+    agen.add_argument("--rate", type=float, default=None,
+                      help="per-tenant arrivals per simulated second (poisson)")
+    agen.add_argument("--horizon", type=float, default=None,
+                      help="arrival window end in simulated seconds (poisson)")
+    agen.add_argument("--workload", action="append", default=None,
+                      choices=sorted(WORKLOADS), metavar="NAME",
+                      help="job-mix workload; repeatable (poisson default: "
+                           "terasort wordcount; single default: terasort)")
+    agen.add_argument("--scale", type=float, default=None,
+                      help="input-size multiplier for every job")
+    agen.add_argument("--slots", type=int, default=None,
+                      help="nodes granted to each job")
+    agen.add_argument("--plan-seed", type=int, default=0,
+                      help="seed for the plan's arrival draws")
+    agen.add_argument("--job-seed", type=int, default=42,
+                      help="cluster seed for the inner engine runs")
+    ashow = arrivals_sub.add_parser(
+        "show", help="validate an arrival-plan file and summarise it"
+    )
+    ashow.add_argument("plan", help="arrival plan JSON (see SERVICE.md)")
 
     sub.add_parser("list", help="list available workloads")
     return parser
@@ -1044,6 +1121,137 @@ def cmd_validate(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args) -> int:
+    from repro.cluster.scheduler import max_queue_admission
+    from repro.harness.service import run_service, validate_report
+
+    try:
+        plan = ArrivalPlan.load(args.plan)
+    except FileNotFoundError:
+        raise ArrivalPlanError(f"no such file: {args.plan}") from None
+    fault_plan_doc = None
+    if args.faults:
+        try:
+            fault_plan_doc = FaultPlan.load(args.faults).to_dict()
+        except FileNotFoundError:
+            raise FaultPlanError(f"no such file: {args.faults}") from None
+    admission = None
+    if args.max_queue is not None:
+        admission = max_queue_admission(args.max_queue)
+    report = run_service(
+        plan,
+        total_nodes=args.nodes,
+        discipline=args.scheduler,
+        cores=args.cores,
+        device=args.device,
+        seed=args.seed,
+        fault_plan_doc=fault_plan_doc,
+        parallel=resolve_parallel(args.parallel),
+        events_path=args.events,
+        trace_path=args.trace,
+        profile_path=args.profile,
+        profile_interval=args.profile_interval,
+        admission=admission,
+    )
+    doc = report.to_dict()
+    validate_report(doc)
+    if args.out:
+        report.save(args.out)
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    totals = doc["totals"]
+    print(f"serve: {totals['submitted']} job(s) from {len(doc['tenants'])} "
+          f"tenant(s) on {doc['cluster']['nodes']} slots "
+          f"[{doc['scheduler']}] "
+          f"({totals['distinct_engine_runs']} distinct engine run(s))")
+    print(f"makespan {doc['makespan_s']:.1f} s | goodput "
+          f"{doc['goodput_jobs_per_s'] * 60:.2f} jobs/min | utilization "
+          f"{doc['utilization']:.0%} | fairness {doc['fairness_index']:.3f}")
+    latency = doc["latency"]["job_latency"]
+    delay = doc["latency"]["queue_delay"]
+    print(f"job latency p50/p99 {latency['p50']:.1f}/{latency['p99']:.1f} s "
+          f"| queue delay p50/p99 {delay['p50']:.1f}/{delay['p99']:.1f} s")
+    if totals["rejected"] or totals["preemptions"]:
+        print(f"rejected {totals['rejected']} | preemptions "
+              f"{totals['preemptions']} | wasted "
+              f"{doc['wasted_slot_seconds']:.1f} slot-seconds")
+    print()
+    rows = [
+        (
+            tenant["name"],
+            f"{tenant['weight']:g}",
+            tenant["slots_per_job"],
+            tenant["submitted"],
+            tenant["completed"],
+            tenant["rejected"],
+            f"{tenant['job_latency']['p50']:.1f}",
+            f"{tenant['job_latency']['p99']:.1f}",
+            f"{tenant['queue_delay']['p99']:.1f}",
+            f"{tenant['slot_seconds']:.0f}",
+        )
+        for tenant in doc["tenants"]
+    ]
+    print(render_table(
+        ["tenant", "weight", "slots", "jobs", "done", "rej",
+         "p50 lat (s)", "p99 lat (s)", "p99 queue (s)", "slot-s"],
+        rows,
+    ))
+    if args.out:
+        print(f"\nwrote report to {args.out}")
+    return 0
+
+
+def cmd_arrivals(args) -> int:
+    if args.arrivals_command == "show":
+        try:
+            plan = ArrivalPlan.load(args.plan)  # load() validates
+        except FileNotFoundError:
+            raise ArrivalPlanError(f"no such file: {args.plan}") from None
+        arrivals = plan.generate()
+        horizon = "--" if plan.horizon is None else f"{plan.horizon:g}s"
+        print(f"valid arrival plan (seed {plan.seed}, horizon {horizon}): "
+              f"{len(arrivals)} job(s) from {len(plan.tenants)} tenant(s)")
+        for tenant in plan.tenants:
+            count = sum(1 for a in arrivals if a.tenant == tenant.name)
+            kind = tenant.process[0]
+            if kind == "poisson":
+                detail = f"poisson rate {tenant.process[1]:g}/s"
+            else:
+                detail = f"trace ({len(tenant.process[1])} time(s))"
+            mix = ", ".join(template.label for template in tenant.mix)
+            print(f"  {tenant.name}: {count} job(s), {detail}, weight "
+                  f"{tenant.weight:g}, {tenant.slots} slot(s)/job, "
+                  f"mix [{mix}]")
+        return 0
+
+    # generate: map the generic flags onto the chosen builder's kwargs.
+    kwargs = {"seed": args.plan_seed, "job_seed": args.job_seed}
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    if args.slots is not None:
+        kwargs["slots"] = args.slots
+    if args.kind == "poisson":
+        if args.tenants is not None:
+            kwargs["tenants"] = args.tenants
+        if args.rate is not None:
+            kwargs["rate"] = args.rate
+        if args.horizon is not None:
+            kwargs["horizon"] = args.horizon
+        if args.workload:
+            kwargs["workloads"] = tuple(args.workload)
+    else:  # single
+        if args.workload:
+            kwargs["workload"] = args.workload[0]
+    plan = CANNED_ARRIVALS[args.kind](**kwargs)
+    if args.out is None:
+        print(plan.to_json())
+    else:
+        plan.save(args.out)
+        print(f"wrote {args.kind} plan to {args.out}")
+    return 0
+
+
 COMMANDS = {
     "list": cmd_list,
     "run": cmd_run,
@@ -1055,6 +1263,8 @@ COMMANDS = {
     "profile": cmd_profile,
     "validate": cmd_validate,
     "whatif": cmd_whatif,
+    "serve": cmd_serve,
+    "arrivals": cmd_arrivals,
 }
 
 
@@ -1079,6 +1289,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     except FaultPlanError as exc:
         # Malformed or unknown-schema fault plan: a usage error, not a crash.
         print(f"error: invalid fault plan: {exc}", file=sys.stderr)
+        return 2
+    except ArrivalPlanError as exc:
+        # Malformed or unknown-schema arrival plan: same contract as faults.
+        print(f"error: invalid arrival plan: {exc}", file=sys.stderr)
         return 2
     except OSError as exc:
         # Unwritable --events/--trace path, unreadable log, and friends.

@@ -9,5 +9,20 @@ the paper measures in Fig. 3.
 
 from repro.cluster.cluster import Cluster, ClusterSpec
 from repro.cluster.node import Node, NodeSpec
+from repro.cluster.scheduler import (
+    ClusterScheduler,
+    ServiceJob,
+    ServiceResult,
+    max_queue_admission,
+)
 
-__all__ = ["Cluster", "ClusterSpec", "Node", "NodeSpec"]
+__all__ = [
+    "Cluster",
+    "ClusterScheduler",
+    "ClusterSpec",
+    "Node",
+    "NodeSpec",
+    "ServiceJob",
+    "ServiceResult",
+    "max_queue_admission",
+]

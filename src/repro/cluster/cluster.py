@@ -5,6 +5,14 @@ DAS-5 nodes and finds a wide spread in effective I/O performance.  We model
 this with log-normal speed factors applied to each node's disk and (more
 tightly) CPU; ``ClusterSpec.disk_sigma = 0`` turns the jitter off for
 experiments that need identical nodes.
+
+:class:`Cluster` is what the harness builds once per run (``build_cluster``)
+and what every layer above shares: the engine schedules tasks onto its
+nodes' cores, the fault injector degrades its devices, and the service
+layer (SERVICE.md) treats each node as one executor slot when allocating
+across concurrent jobs.  Node-level activity is reported through the
+``node.<id>.*`` metric families that end up in ``repro.trace/1`` event
+logs and ``repro.profile/1`` demand profiles.
 """
 
 from __future__ import annotations

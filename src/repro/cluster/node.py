@@ -1,4 +1,15 @@
-"""One worker node: CPU bank, local disk, and NIC endpoints."""
+"""One worker node: CPU bank, local disk, and NIC endpoints.
+
+:class:`NodeSpec` carries the paper's DAS-5 node shape (32 virtual cores,
+one 7'200 rpm HDD or an SSD, a gigabit-class NIC) plus the per-node speed
+factors drawn by :mod:`repro.cluster.cluster`; :class:`Node` instantiates
+the simulated devices against one :class:`~repro.simulation.core.Simulator`
+and registers them with the shared network fabric.  A node is the unit the
+cluster-level scheduler allocates to jobs (one executor slot per node --
+SERVICE.md); everything it emits lands in the run's event log via the
+node-scoped ``node.<id>.*`` metric names (see
+:data:`repro.observability.metrics.METRIC_UNITS`).
+"""
 
 from __future__ import annotations
 

@@ -1,0 +1,425 @@
+"""Cluster-level scheduler: whole jobs competing for executor slots.
+
+The engine's DAG scheduler places *tasks* inside one job; this module
+adds the layer above it -- the Elasecutor framing where executors are the
+unit of allocation *across* competing applications.  A
+:class:`ClusterScheduler` admits jobs from a multi-tenant arrival
+sequence (:mod:`repro.workloads.arrivals`), queues them under a
+discipline (``fifo`` | ``fair`` | ``wfair``), and grants each job a
+fixed block of executor slots for its whole service time.  Service times
+come from the deterministic inner engine via the runtime oracle in
+:mod:`repro.harness.service`, so the outer loop here is a pure,
+wall-clock-free discrete-event simulation: same arrivals + same runtimes
+-> same schedule, byte for byte.
+
+Disciplines (all starvation-free by head-of-line blocking -- when the
+chosen queue's head does not fit in the free slots, dispatch stops
+rather than skipping ahead, so a wide job can never be overtaken
+forever):
+
+* ``fifo``  -- one global queue in arrival order.
+* ``fair``  -- pick the tenant with the fewest running slots, then its
+  earliest job (max-min slot fairness, unit weights).
+* ``wfair`` -- like ``fair`` but normalised by tenant weight
+  (``running_slots / weight``).
+
+Admission and preemption are pluggable hooks: admission sees each job at
+arrival and may reject it (e.g. :func:`max_queue_admission`); preemption
+runs after every event and may evict running jobs, which requeue and
+later restart from scratch (lost work is accounted as wasted
+slot-seconds).  Service-level metrics (job latency, queueing delay,
+per-tenant splits) flow through the shared observability registry under
+the ``service.*`` names; :mod:`repro.harness.service` folds them into
+the versioned ``repro.service/1`` SLO report.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.observability.metrics import MetricsRegistry, tenant_metric
+
+if TYPE_CHECKING:  # imported lazily at runtime: workloads -> engine -> cluster
+    from repro.workloads.arrivals import JobArrival
+
+#: Queue disciplines accepted by :class:`ClusterScheduler` and `repro serve`.
+DISCIPLINES = ("fifo", "fair", "wfair")
+
+
+@dataclass
+class ServiceJob:
+    """One job's trip through the service: arrival -> queue -> slots -> done.
+
+    ``runtime`` is the inner-engine service time (simulated seconds) the
+    job needs once granted ``slots`` executors; it is supplied by the
+    runtime oracle before the outer simulation starts.
+    """
+
+    job_id: str
+    tenant: str
+    workload: str
+    arrival: float
+    slots: int
+    runtime: float
+    tenant_weight: float = 1.0
+
+    # -- state mutated by the scheduler --
+    start: Optional[float] = None          #: start of the final (successful) execution
+    end: Optional[float] = None            #: completion time
+    rejected: bool = False
+    preemptions: int = 0
+    served: float = 0.0                    #: seconds of service received, incl. preempted attempts
+    _generation: int = 0                   #: invalidates stale completion events after preemption
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Sojourn time (arrival -> completion), None if not completed."""
+        if self.end is None:
+            return None
+        return self.end - self.arrival
+
+    @property
+    def queue_delay(self) -> Optional[float]:
+        """Time spent waiting, i.e. sojourn minus all time in service."""
+        if self.end is None:
+            return None
+        return (self.end - self.arrival) - self.served
+
+
+@dataclass
+class SchedulerState:
+    """Read-only view handed to admission and preemption hooks."""
+
+    now: float
+    total_slots: int
+    free_slots: int
+    running: Tuple[ServiceJob, ...]
+    queued: Tuple[ServiceJob, ...]
+
+
+AdmissionHook = Callable[[ServiceJob, SchedulerState], bool]
+PreemptionHook = Callable[[SchedulerState], Sequence[ServiceJob]]
+
+
+def max_queue_admission(limit: int) -> AdmissionHook:
+    """Canned admission hook: reject arrivals once ``limit`` jobs queue."""
+    if limit < 0:
+        raise ValueError(f"queue limit must be >= 0, got {limit}")
+
+    def admit(job: ServiceJob, state: SchedulerState) -> bool:
+        return len(state.queued) < limit
+
+    return admit
+
+
+@dataclass
+class ServiceResult:
+    """Outcome of one scheduled scenario, ready for report assembly."""
+
+    jobs: List[ServiceJob]
+    discipline: str
+    total_slots: int
+    makespan: float
+    submitted: int
+    completed: int
+    rejected: int
+    preempted: int
+    #: slot-seconds of completed service, per tenant (fairness input).
+    slot_seconds: Dict[str, float]
+    #: slot-seconds thrown away by preemption (lost work).
+    wasted_slot_seconds: float
+    registry: MetricsRegistry
+
+    @property
+    def utilization(self) -> float:
+        """Useful slot-seconds over capacity slot-seconds (0 if empty)."""
+        capacity = self.total_slots * self.makespan
+        if capacity <= 0:
+            return 0.0
+        return sum(self.slot_seconds.values()) / capacity
+
+    @property
+    def goodput(self) -> float:
+        """Completed jobs per simulated second (0 if makespan is 0)."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.completed / self.makespan
+
+    def fairness_index(self, weights: Dict[str, float]) -> float:
+        """Jain's fairness index over weight-normalised tenant service.
+
+        1.0 means every tenant received slot-seconds exactly proportional
+        to its weight; 1/n means one tenant got everything.  Degenerate
+        cases (no service, single tenant) read as perfectly fair.
+        """
+        shares = [
+            self.slot_seconds.get(tenant, 0.0) / weights.get(tenant, 1.0)
+            for tenant in sorted(weights)
+        ]
+        total = sum(shares)
+        if len(shares) <= 1 or total <= 0:
+            return 1.0
+        squares = sum(share * share for share in shares)
+        return (total * total) / (len(shares) * squares)
+
+
+class ClusterScheduler:
+    """Deterministic event-driven service loop over executor slots."""
+
+    def __init__(
+        self,
+        total_slots: int,
+        discipline: str = "fifo",
+        admission: Optional[AdmissionHook] = None,
+        preemption: Optional[PreemptionHook] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if total_slots < 1:
+            raise ValueError(f"total_slots must be >= 1, got {total_slots}")
+        if discipline not in DISCIPLINES:
+            raise ValueError(
+                f"unknown discipline {discipline!r}; expected one of "
+                f"{DISCIPLINES}"
+            )
+        self.total_slots = total_slots
+        self.discipline = discipline
+        self.admission = admission
+        self.preemption = preemption
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, jobs: Sequence[ServiceJob]) -> ServiceResult:
+        """Schedule ``jobs`` to completion and return the service result.
+
+        Raises :class:`~repro.workloads.arrivals.ArrivalPlanError` when a
+        job demands more slots than the cluster has (it could never run).
+        """
+        from repro.workloads.arrivals import ArrivalPlanError
+
+        for job in jobs:
+            if job.slots > self.total_slots:
+                raise ArrivalPlanError(
+                    f"job {job.job_id} ({job.tenant}) needs {job.slots} "
+                    f"slots but the cluster has {self.total_slots}"
+                )
+            if job.runtime < 0:
+                raise ValueError(
+                    f"job {job.job_id}: runtime must be >= 0, "
+                    f"got {job.runtime}"
+                )
+
+        arrivals = sorted(jobs, key=lambda job: (job.arrival, job.job_id))
+        # Queue entries keep (arrival, submit_seq) so requeued preempted
+        # jobs fall back into arrival order deterministically.
+        queued: List[Tuple[float, int, ServiceJob]] = []
+        running: Dict[str, ServiceJob] = {}
+        run_start: Dict[str, float] = {}
+        completions: List[Tuple[float, int, str, int]] = []
+        free = self.total_slots
+        now = 0.0
+        seq = 0
+        next_arrival = 0
+        completed = 0
+        rejected = 0
+        preempted_events = 0
+        wasted = 0.0
+        slot_seconds: Dict[str, float] = {}
+        makespan = 0.0
+
+        metrics = self.registry
+        submitted_counter = metrics.counter("service.jobs.submitted")
+        completed_counter = metrics.counter("service.jobs.completed")
+        rejected_counter = metrics.counter("service.jobs.rejected")
+        preempted_counter = metrics.counter("service.jobs.preempted")
+        latency_hist = metrics.histogram("service.job_latency")
+        delay_hist = metrics.histogram("service.queue_delay")
+
+        def state() -> SchedulerState:
+            return SchedulerState(
+                now=now,
+                total_slots=self.total_slots,
+                free_slots=free,
+                running=tuple(
+                    running[job_id] for job_id in sorted(running)
+                ),
+                queued=tuple(entry[2] for entry in sorted(queued)),
+            )
+
+        def start_job(job: ServiceJob) -> None:
+            nonlocal free, seq
+            job.start = now
+            job._generation += 1
+            running[job.job_id] = job
+            run_start[job.job_id] = now
+            free -= job.slots
+            seq += 1
+            heapq.heappush(
+                completions,
+                (now + job.runtime, seq, job.job_id, job._generation),
+            )
+
+        def dispatch() -> None:
+            nonlocal free
+            while queued:
+                entry = self._pick(queued, running)
+                job = entry[2]
+                if job.slots > free:
+                    break  # head-of-line blocking: never skip ahead
+                queued.remove(entry)
+                start_job(job)
+
+        while next_arrival < len(arrivals) or completions or queued:
+            times: List[float] = []
+            if next_arrival < len(arrivals):
+                times.append(arrivals[next_arrival].arrival)
+            if completions:
+                times.append(completions[0][0])
+            if not times:
+                # Only queued jobs remain but nothing is running and no
+                # arrivals are due: the head does not fit even in an idle
+                # cluster, which the slot check above already excluded.
+                raise AssertionError("scheduler stalled with queued jobs")
+            now = min(times)
+
+            # 1. completions at `now` free their slots first.
+            while completions and completions[0][0] <= now:
+                _end, _seq, job_id, generation = heapq.heappop(completions)
+                job = running.get(job_id)
+                if job is None or job._generation != generation:
+                    continue  # stale event from a preempted attempt
+                del running[job_id]
+                free += job.slots
+                job.end = now
+                job.served += job.runtime
+                completed += 1
+                makespan = max(makespan, now)
+                slot_seconds[job.tenant] = (
+                    slot_seconds.get(job.tenant, 0.0)
+                    + job.runtime * job.slots
+                )
+                completed_counter.inc()
+                latency_hist.observe(job.latency)
+                delay_hist.observe(job.queue_delay)
+                metrics.histogram(
+                    tenant_metric(job.tenant, "job_latency")
+                ).observe(job.latency)
+                metrics.histogram(
+                    tenant_metric(job.tenant, "queue_delay")
+                ).observe(job.queue_delay)
+
+            # 2. arrivals at `now` pass admission and enqueue.
+            while (next_arrival < len(arrivals)
+                   and arrivals[next_arrival].arrival <= now):
+                job = arrivals[next_arrival]
+                next_arrival += 1
+                submitted_counter.inc()
+                if (self.admission is not None
+                        and not self.admission(job, state())):
+                    job.rejected = True
+                    rejected += 1
+                    rejected_counter.inc()
+                    makespan = max(makespan, now)
+                    continue
+                seq += 1
+                queued.append((job.arrival, seq, job))
+
+            # 3. preemption hook may evict running jobs back to the queue.
+            if self.preemption is not None:
+                victims = list(self.preemption(state()))
+                for victim in victims:
+                    current = running.get(victim.job_id)
+                    if current is not victim:
+                        continue  # hook returned a job that is not running
+                    del running[victim.job_id]
+                    free += victim.slots
+                    lost = now - run_start[victim.job_id]
+                    victim.served += lost
+                    wasted += lost * victim.slots
+                    victim.preemptions += 1
+                    victim.start = None
+                    preempted_events += 1
+                    preempted_counter.inc()
+                    seq += 1
+                    queued.append((victim.arrival, seq, victim))
+
+            # 4. fill freed slots under the discipline.
+            dispatch()
+
+        total = len(arrivals)
+        return ServiceResult(
+            jobs=list(arrivals),
+            discipline=self.discipline,
+            total_slots=self.total_slots,
+            makespan=makespan,
+            submitted=total,
+            completed=completed,
+            rejected=rejected,
+            preempted=preempted_events,
+            slot_seconds=slot_seconds,
+            wasted_slot_seconds=wasted,
+            registry=metrics,
+        )
+
+    # -- discipline --------------------------------------------------------
+
+    def _pick(
+        self,
+        queued: List[Tuple[float, int, ServiceJob]],
+        running: Dict[str, ServiceJob],
+    ) -> Tuple[float, int, ServiceJob]:
+        """Choose the next queue entry to consider (head-of-line)."""
+        if self.discipline == "fifo":
+            return min(queued, key=lambda entry: (entry[0], entry[1]))
+        # fair / wfair: tenant with the smallest normalised running-slot
+        # share goes first; ties break by tenant name for determinism.
+        usage: Dict[str, float] = {}
+        for job in running.values():
+            usage[job.tenant] = usage.get(job.tenant, 0.0) + job.slots
+        best: Optional[Tuple[float, str]] = None
+        for _arrival, _seq, job in queued:
+            weight = job.tenant_weight if self.discipline == "wfair" else 1.0
+            share = usage.get(job.tenant, 0.0) / weight
+            key = (share, job.tenant)
+            if best is None or key < best:
+                best = key
+        assert best is not None
+        tenant = best[1]
+        return min(
+            (entry for entry in queued if entry[2].tenant == tenant),
+            key=lambda entry: (entry[0], entry[1]),
+        )
+
+
+def jobs_from_arrivals(
+    arrivals: Sequence["JobArrival"],
+    runtimes: Dict[str, float],
+) -> List[ServiceJob]:
+    """Bind expanded arrivals to oracle runtimes, keyed by ``job_id``."""
+    jobs: List[ServiceJob] = []
+    for arrival in arrivals:
+        if arrival.job_id not in runtimes:
+            raise KeyError(f"no runtime for job {arrival.job_id}")
+        jobs.append(
+            ServiceJob(
+                job_id=arrival.job_id,
+                tenant=arrival.tenant,
+                workload=arrival.template.label,
+                arrival=arrival.time,
+                slots=arrival.slots,
+                runtime=runtimes[arrival.job_id],
+                tenant_weight=arrival.tenant_weight,
+            )
+        )
+    return jobs

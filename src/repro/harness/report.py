@@ -1,4 +1,14 @@
-"""Plain-text rendering of experiment results (the "figures" of this repo)."""
+"""Plain-text rendering of experiment results (the "figures" of this repo).
+
+Every CLI subcommand that prints a table goes through :func:`render_table`,
+so column alignment and ``--``-for-missing conventions are uniform across
+``run``, ``sweep``, ``compare``, ``serve``, and friends.  :func:`write_result`
+persists a rendered report atomically next to the machine-readable
+documents.  This module is deliberately schema-free: the versioned JSON
+artifacts (``repro.trace/1``, ``repro.profile/1``, ``repro.whatif/1``,
+``repro.service/1``) are produced by their owning subsystems; what lands
+here is already formatted text.
+"""
 
 from __future__ import annotations
 

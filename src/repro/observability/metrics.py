@@ -32,6 +32,11 @@ def nic_metric(node_id: int, direction: str, name: str) -> str:
     return f"node.{node_id}.nic.{direction}.{name}"
 
 
+def tenant_metric(tenant: str, name: str) -> str:
+    """Canonical per-tenant service metric name: ``service.tenant.<t>.<name>``."""
+    return f"service.tenant.{tenant}.{name}"
+
+
 #: Units for the canonical metric families (documented in OBSERVABILITY.md;
 #: shared vocabulary between ``collect_run_metrics`` and the profiler).
 METRIC_UNITS: Dict[str, str] = {
@@ -46,6 +51,12 @@ METRIC_UNITS: Dict[str, str] = {
     "tasks.io_wait": "seconds",
     "stages.runtime": "seconds",
     "run.simulated_seconds": "seconds",
+    "service.job_latency": "seconds",
+    "service.queue_delay": "seconds",
+    "service.jobs.submitted": "jobs",
+    "service.jobs.completed": "jobs",
+    "service.jobs.rejected": "jobs",
+    "service.jobs.preempted": "jobs",
 }
 
 

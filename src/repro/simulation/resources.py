@@ -344,6 +344,19 @@ class FairShareResource:
                     uniform_eps if rates is None else rates[job] * 1e-6,
                 )
                 if job.remaining <= threshold:
+                    # Credit the sub-threshold residual before zeroing it:
+                    # force-finishing must not leak work out of the
+                    # conservation counters (bytes through a device must sum
+                    # to the bytes requested).  Scheduling is untouched --
+                    # stats never feed back into rates or horizons.
+                    residual = job.remaining
+                    if residual > 0.0:
+                        stats = self.stats
+                        stats.work_done += residual
+                        if job.tag:
+                            stats.work_by_tag[job.tag] = (
+                                stats.work_by_tag.get(job.tag, 0.0) + residual
+                            )
                     job.remaining = 0.0
                     finished.append(job)
                 else:

@@ -12,6 +12,13 @@ examples to validate semantics end-to-end (Terasort really sorts, PageRank
 really converges, Join really joins).
 """
 
+from repro.workloads.arrivals import (
+    ArrivalPlan,
+    ArrivalPlanError,
+    JobArrival,
+    JobTemplate,
+    TenantSpec,
+)
 from repro.workloads.base import Workload, WorkloadRun
 from repro.workloads.catalog import WORKLOADS, get_workload, workload_names
 from repro.workloads.terasort import Terasort
@@ -27,13 +34,18 @@ from repro.workloads.svm import SVM
 
 __all__ = [
     "Aggregation",
+    "ArrivalPlan",
+    "ArrivalPlanError",
     "Bayes",
+    "JobArrival",
+    "JobTemplate",
     "Join",
     "LDA",
     "NWeight",
     "PageRank",
     "SVM",
     "Scan",
+    "TenantSpec",
     "Terasort",
     "WORKLOADS",
     "WordCount",

@@ -1,4 +1,16 @@
-"""Workload base class and run results."""
+"""Workload base class and run results.
+
+A :class:`Workload` is an RDD program plus its paper-calibrated data
+volumes: ``prepare`` materialises input in the simulated DFS, ``execute``
+builds and runs the DAG, and :meth:`Workload.run` wraps both into a
+:class:`WorkloadRun` -- runtime, per-stage records, and cluster I/O totals,
+exactly the fields the harness summarises into sweep journals and the
+service layer's runtime oracle.  ``scale`` multiplies every byte count so
+tests and thousand-job service scenarios stay cheap while ratios (and
+therefore thread-count optima) are preserved.  Subclasses also provide a
+small *materialised* mode (``run_small``) whose outputs are semantically
+checkable (Terasort really sorts).
+"""
 
 from __future__ import annotations
 

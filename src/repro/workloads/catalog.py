@@ -1,4 +1,12 @@
-"""Workload registry: the paper's Tables 2 and 3 in code."""
+"""Workload registry: the paper's Tables 2 and 3 in code.
+
+:data:`WORKLOADS` is the single name -> class map behind every surface
+that accepts a workload name -- the CLI's positional arguments, sweep and
+bench configs, and the job mixes of ``repro.arrivals/1`` plans
+(:mod:`repro.workloads.arrivals` validates against it).  ``TABLE2_WORKLOADS``
+and ``TABLE3_WORKLOADS`` name the paper's I/O-amplification and end-to-end
+evaluation sets respectively.
+"""
 
 from __future__ import annotations
 

@@ -1,0 +1,156 @@
+"""Service harness: runtime oracle, report assembly, and determinism."""
+
+import json
+
+import pytest
+
+from repro.harness.service import (
+    REPORT_SCHEMA,
+    compute_runtimes,
+    run_service,
+    validate_report,
+)
+from repro.workloads.arrivals import (
+    ArrivalPlan,
+    JobTemplate,
+    TenantSpec,
+    poisson_plan,
+    single_job_plan,
+)
+
+
+def small_plan(seed=0):
+    """~10 jobs, one distinct template, sub-second to run."""
+    return ArrivalPlan(
+        seed=seed,
+        horizon=400.0,
+        tenants=(
+            TenantSpec(
+                name="a",
+                process=("poisson", 0.02, 0.0, None),
+                mix=(JobTemplate(workload="wordcount", scale=0.02),),
+            ),
+            TenantSpec(
+                name="b",
+                process=("trace", (0.0, 50.0, 100.0)),
+                mix=(JobTemplate(workload="wordcount", scale=0.02),),
+            ),
+        ),
+    )
+
+
+class TestOracle:
+    def test_replicas_share_one_engine_run(self):
+        arrivals = small_plan().generate()
+        assert len(arrivals) > 3
+        runtimes, distinct = compute_runtimes(arrivals, cores=8, device="hdd")
+        assert distinct == 1  # one template -> one inner run
+        assert len(set(runtimes.values())) == 1
+        assert all(value > 0 for value in runtimes.values())
+
+    def test_distinct_templates_get_distinct_runs(self):
+        plan = ArrivalPlan(
+            tenants=(
+                TenantSpec(
+                    name="t",
+                    process=("trace", (0.0, 1.0)),
+                    mix=(JobTemplate(workload="wordcount", scale=0.02),),
+                ),
+                TenantSpec(
+                    name="u",
+                    process=("trace", (0.0,)),
+                    mix=(JobTemplate(workload="wordcount", scale=0.04),),
+                ),
+            ),
+        )
+        arrivals = plan.generate()
+        runtimes, distinct = compute_runtimes(arrivals, cores=8, device="hdd")
+        assert distinct == 2
+        assert len(set(runtimes.values())) == 2
+
+    def test_per_job_events_suffix_paths(self, tmp_path):
+        plan = ArrivalPlan(
+            tenants=(
+                TenantSpec(
+                    name="t",
+                    process=("trace", (0.0, 1.0)),
+                    mix=(JobTemplate(workload="wordcount", scale=0.02),),
+                ),
+            ),
+        )
+        events = str(tmp_path / "out.jsonl")
+        run_service(plan, total_nodes=2, cores=8, events_path=events)
+        assert (tmp_path / "out.j0000.jsonl").exists()
+        assert (tmp_path / "out.j0001.jsonl").exists()
+
+    def test_single_job_events_use_exact_path(self, tmp_path):
+        plan = single_job_plan(workload="wordcount", scale=0.02, slots=2)
+        events = str(tmp_path / "out.jsonl")
+        run_service(plan, total_nodes=2, cores=8, events_path=events)
+        assert (tmp_path / "out.jsonl").exists()
+
+
+class TestReport:
+    def test_report_validates_and_conserves_jobs(self):
+        report = run_service(small_plan(), total_nodes=2, cores=8,
+                             discipline="fair")
+        doc = report.to_dict()
+        validate_report(doc)
+        assert doc["schema"] == REPORT_SCHEMA
+        assert doc["totals"]["submitted"] == len(doc["jobs"])
+        assert doc["totals"]["completed"] == len(doc["jobs"])
+        assert 0.0 < doc["utilization"] <= 1.0
+        assert doc["latency"]["job_latency"]["p99"] > 0
+
+    def test_seed_override_changes_arrivals(self):
+        base = run_service(small_plan(), total_nodes=2, cores=8).to_dict()
+        reseeded = run_service(small_plan(), total_nodes=2, cores=8,
+                               seed=99).to_dict()
+        assert reseeded["seed"] == 99
+        assert base["jobs"] != reseeded["jobs"]
+
+    def test_report_save_round_trips(self, tmp_path):
+        report = run_service(small_plan(), total_nodes=2, cores=8)
+        path = tmp_path / "report.json"
+        report.save(str(path))
+        doc = json.loads(path.read_text())
+        validate_report(doc)
+        assert doc == json.loads(
+            json.dumps(report.to_dict(), sort_keys=True))
+
+    def test_validate_report_catches_violations(self):
+        doc = run_service(small_plan(), total_nodes=2, cores=8).to_dict()
+        broken = dict(doc)
+        broken["totals"] = dict(doc["totals"], completed=0)
+        with pytest.raises(ValueError, match="conservation"):
+            validate_report(broken)
+        with pytest.raises(ValueError, match="schema"):
+            validate_report({"schema": "repro.trace/1"})
+
+
+class TestDeterminism:
+    def test_thousand_job_scenario_is_byte_identical(self, tmp_path):
+        """The acceptance gate: >=1000 seeded jobs, fair scheduler, two
+        full runs, byte-identical repro.service/1 reports (cheap because
+        the oracle runs the engine once per distinct template)."""
+        plan = poisson_plan(tenants=4, rate=0.7, horizon=400.0,
+                            workloads=("wordcount", "terasort"), scale=0.02)
+
+        def produce(path):
+            report = run_service(plan, total_nodes=8, cores=8,
+                                 discipline="fair")
+            report.save(str(path))
+            return report
+
+        first = produce(tmp_path / "a.json")
+        produce(tmp_path / "b.json")
+        assert first.to_dict()["totals"]["submitted"] >= 1000
+        assert (tmp_path / "a.json").read_bytes() == \
+               (tmp_path / "b.json").read_bytes()
+
+    def test_parallel_oracle_matches_sequential(self):
+        plan = small_plan()
+        sequential = run_service(plan, total_nodes=2, cores=8).to_dict()
+        parallel = run_service(plan, total_nodes=2, cores=8,
+                               parallel=2).to_dict()
+        assert sequential == parallel

@@ -287,3 +287,97 @@ class TestBadInputs:
                      "--events", "/no/such/dir/x.jsonl"])
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestServe:
+    def _plan(self, tmp_path, extra=()):
+        path = str(tmp_path / "plan.json")
+        assert main(["arrivals", "generate", "poisson", "--tenants", "2",
+                     "--rate", "0.01", "--horizon", "500",
+                     "--workload", "wordcount", "--scale", "0.02",
+                     "--out", path, *extra]) == 0
+        return path
+
+    def test_arrivals_generate_and_show(self, tmp_path, capsys):
+        path = self._plan(tmp_path)
+        capsys.readouterr()
+        assert main(["arrivals", "show", path]) == 0
+        out = capsys.readouterr().out
+        assert "valid arrival plan" in out
+        assert "tenant0" in out
+
+    def test_arrivals_generate_stdout_is_valid_plan(self, capsys):
+        from repro.workloads.arrivals import ArrivalPlan
+
+        assert main(["arrivals", "generate", "single",
+                     "--workload", "wordcount", "--scale", "0.02"]) == 0
+        plan = ArrivalPlan.from_json(capsys.readouterr().out)
+        assert len(plan.generate()) == 1
+
+    def test_arrivals_show_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["arrivals", "show", str(tmp_path / "no.json")]) == 2
+        assert "invalid arrival plan" in capsys.readouterr().err
+
+    def test_serve_text_report(self, tmp_path, capsys):
+        path = self._plan(tmp_path)
+        capsys.readouterr()
+        assert main(["serve", "--plan", path, "--scheduler", "fair",
+                     "--nodes", "2", "--cores", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "serve:" in out
+        assert "makespan" in out
+        assert "tenant0" in out
+
+    def test_serve_json_and_out_agree(self, tmp_path, capsys):
+        path = self._plan(tmp_path)
+        report = tmp_path / "report.json"
+        capsys.readouterr()
+        assert main(["serve", "--plan", path, "--nodes", "2", "--cores", "8",
+                     "--json", "--out", str(report)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.service/1"
+        assert json.loads(report.read_text()) == doc
+
+    def test_serve_seed_override_is_deterministic(self, tmp_path, capsys):
+        path = self._plan(tmp_path)
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        for out in (a, b):
+            assert main(["serve", "--plan", path, "--nodes", "2",
+                         "--cores", "8", "--seed", "7",
+                         "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+        assert json.loads(a.read_text())["seed"] == 7
+
+    def test_serve_max_queue_rejects(self, tmp_path, capsys):
+        path = self._plan(tmp_path)
+        capsys.readouterr()
+        assert main(["serve", "--plan", path, "--nodes", "2", "--cores", "8",
+                     "--max-queue", "0", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["totals"]["rejected"] == doc["totals"]["submitted"]
+
+    def test_serve_missing_plan_exits_2(self, tmp_path, capsys):
+        assert main(["serve", "--plan", str(tmp_path / "no.json")]) == 2
+        assert "invalid arrival plan" in capsys.readouterr().err
+
+    def test_serve_bad_plan_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "repro.arrivals/1", "tenants": []}')
+        assert main(["serve", "--plan", str(bad)]) == 2
+        assert "invalid arrival plan" in capsys.readouterr().err
+
+    def test_serve_single_job_events_match_repro_run(self, tmp_path, capsys):
+        """The degenerate single-tenant serve is exactly `repro run`."""
+        plan = str(tmp_path / "single.json")
+        assert main(["arrivals", "generate", "single",
+                     "--workload", "wordcount", "--scale", "0.02",
+                     "--slots", "2", "--out", plan]) == 0
+        serve_log = tmp_path / "serve.jsonl"
+        run_log = tmp_path / "run.jsonl"
+        assert main(["serve", "--plan", plan, "--nodes", "2", "--cores", "8",
+                     "--events", str(serve_log)]) == 0
+        assert main(["run", "wordcount", "--scale", "0.02", "--nodes", "2",
+                     "--cores", "8", "--events", str(run_log)]) == 0
+        capsys.readouterr()
+        assert serve_log.read_bytes() == run_log.read_bytes()
