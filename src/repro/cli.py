@@ -51,6 +51,7 @@ from repro.observability.chrome import ChromeTraceSink
 from repro.observability.history import load_events, reconstruct
 from repro.observability.sinks import JsonLinesSink
 from repro.observability.tracer import Tracer
+from repro.simulation.kernel import CORE_NAMES, CoreUnavailableError, resolve_core
 from repro.workloads.arrivals import (
     CANNED_PLANS as CANNED_ARRIVALS,
     ArrivalPlan,
@@ -119,10 +120,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="tiny inputs and single repeats (CI mode)")
     bench.add_argument("--parallel", type=int, default=0, metavar="N",
                        help="workers for the sweep benchmark (0 = all cores)")
+    bench.add_argument("--only", metavar="NAME", action="append", default=None,
+                       help="run only the named benchmark (repeatable)")
     bench.add_argument("--check", metavar="BASELINE.json", default=None,
                        help="fail on >25%% regression vs a baseline document")
     bench.add_argument("--tolerance", type=float, default=0.25,
                        help="allowed fractional regression for --check")
+    bench.add_argument("--json", action="store_true",
+                       help="print the results document as JSON to stdout "
+                            "(--check output moves to stderr)")
+    _core_arg(bench)
 
     faults = sub.add_parser(
         "faults", help="fault-plan utilities (see FAULTS.md)"
@@ -234,6 +241,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the report JSON to PATH")
     whatif.add_argument("--json", action="store_true",
                         help="print the report as JSON instead of a table")
+    _core_arg(whatif)
 
     serve = sub.add_parser(
         "serve",
@@ -272,6 +280,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the repro.service/1 report JSON to PATH")
     serve.add_argument("--json", action="store_true",
                        help="print the report as JSON instead of tables")
+    _core_arg(serve)
 
     arrivals = sub.add_parser(
         "arrivals", help="arrival-plan utilities (see SERVICE.md)"
@@ -335,6 +344,15 @@ def _common_args(parser: argparse.ArgumentParser) -> None:
                              "(default 1.0)")
     parser.add_argument("--json", action="store_true",
                         help="emit results as JSON instead of tables")
+    _core_arg(parser)
+
+
+def _core_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--core", choices=CORE_NAMES, default=None,
+        help="simulation kernel backend: 'python' (reference, default) or "
+             "'vector' (numpy-vectorized fair-share engine; byte-identical "
+             "results, exits 2 if numpy is unavailable)")
 
 
 def _parallel_arg(parser: argparse.ArgumentParser) -> None:
@@ -376,12 +394,24 @@ def _run_kwargs(args):
         seed=args.seed,
         workload_kwargs={"scale": args.scale},
     )
+    core = _core_choice(args)
+    if core is not None:
+        kwargs["core"] = core
     if getattr(args, "faults", None):
         try:
             kwargs["fault_plan"] = FaultPlan.load(args.faults)
         except FileNotFoundError:
             raise FaultPlanError(f"no such file: {args.faults}") from None
     return kwargs
+
+
+def _core_choice(args) -> Optional[str]:
+    """The validated --core selection, failing fast (exit 2) up front
+    rather than deep inside a sweep's first worker."""
+    core = getattr(args, "core", None)
+    if core is not None:
+        resolve_core(core)
+    return core
 
 
 def _thread_counts(cores: int) -> tuple:
@@ -876,28 +906,52 @@ def cmd_whatif(args) -> int:
 def cmd_bench(args) -> int:
     from repro.harness.bench import check_regression, run_suite
 
-    doc = run_suite(smoke=args.smoke, parallel=args.parallel)
+    core = _core_choice(args)
+    # With --json the document itself goes to stdout, so the human-facing
+    # table/summary chatter moves to stderr and stays pipeline-safe.
+    out = sys.stderr if args.json else sys.stdout
+    doc = run_suite(smoke=args.smoke, parallel=args.parallel,
+                    only=args.only, core=core)
     atomic_write_json(args.out, doc)
     rows = []
     for name, result in sorted(doc["benchmarks"].items()):
+        if result.get("skipped"):
+            rows.append((name, f"skipped: {result['skipped']}", "-"))
+            continue
         merit = result.get("events_per_sec") or result.get("runs_per_min") or 0
         unit = "events/s" if result.get("events_per_sec") else "runs/min"
         wall = result.get("wall_s", result.get("parallel_wall_s", 0.0))
         rows.append((name, f"{merit:,.0f} {unit}", f"{wall:.3f}"))
     print(render_table(["benchmark", "figure of merit", "wall (s)"], rows,
-                       title=f"repro bench [{doc['mode']}] -> {args.out}"))
-    sweep = doc["benchmarks"]["sweep"]
-    print(f"\nsweep: {sweep['points']} points, {sweep['workers']} worker(s), "
-          f"speedup {sweep['speedup']:.2f}x over sequential")
+                       title=f"repro bench [{doc['mode']}] -> {args.out}"),
+          file=out)
+    active = doc.get("cores", {}).get("active", {})
+    print(f"\nkernel core: {active.get('core', 'python')} "
+          f"(numpy {doc.get('cores', {}).get('numpy') or 'absent'})",
+          file=out)
+    for base_name in ("kernel_terasort", "kernel_fairshare"):
+        base = doc["benchmarks"].get(base_name)
+        vector = doc["benchmarks"].get(f"{base_name}_vector")
+        if (base and vector and base.get("events_per_sec")
+                and vector.get("events_per_sec")):
+            ratio = vector["events_per_sec"] / base["events_per_sec"]
+            print(f"{base_name}: vector core {ratio:.2f}x python",
+                  file=out)
+    sweep = doc["benchmarks"].get("sweep")
+    if sweep is not None:
+        print(f"sweep: {sweep['points']} points, {sweep['workers']} worker(s), "
+              f"speedup {sweep['speedup']:.2f}x over sequential", file=out)
     fork_sweep = doc["benchmarks"].get("fork_sweep")
     if fork_sweep is not None and fork_sweep.get("forked_wall_s"):
         print(f"fork sweep: {fork_sweep['points']} futures forked at "
               f"t={fork_sweep['fork_at_s']:.0f}s, speedup "
-              f"{fork_sweep['speedup']:.2f}x over sequential re-simulation")
+              f"{fork_sweep['speedup']:.2f}x over sequential re-simulation",
+              file=out)
     overhead = doc["benchmarks"].get("profiler_overhead")
     if overhead is not None:
         print(f"profiler overhead: {overhead['overhead_frac']:+.1%} wall "
-              f"time vs untraced (scale {overhead['scale']})")
+              f"time vs untraced (scale {overhead['scale']})", file=out)
+    status = 0
     if args.check:
         with open(args.check, "r", encoding="utf-8") as handle:
             baseline = json.load(handle)
@@ -913,7 +967,7 @@ def cmd_bench(args) -> int:
                   f"{', '.join(failing)}: {'; '.join(failures)}",
                   file=sys.stderr)
             retry = run_suite(smoke=args.smoke, parallel=args.parallel,
-                              only=failing)
+                              only=failing, core=core)
             doc["benchmarks"].update(retry["benchmarks"])
             atomic_write_json(args.out, doc)
             failures = check_regression(doc, baseline,
@@ -922,10 +976,13 @@ def cmd_bench(args) -> int:
             print(f"\nPERF REGRESSION vs {args.check}:", file=sys.stderr)
             for failure in failures:
                 print(f"  {failure}", file=sys.stderr)
-            return 1
-        print(f"\nno regression vs {args.check} "
-              f"(tolerance {args.tolerance:.0%})")
-    return 0
+            status = 1
+        else:
+            print(f"\nno regression vs {args.check} "
+                  f"(tolerance {args.tolerance:.0%})", file=out)
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    return status
 
 
 def cmd_history(args) -> int:
@@ -1152,6 +1209,7 @@ def cmd_serve(args) -> int:
         profile_path=args.profile,
         profile_interval=args.profile_interval,
         admission=admission,
+        core=_core_choice(args),
     )
     doc = report.to_dict()
     validate_report(doc)
@@ -1293,6 +1351,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ArrivalPlanError as exc:
         # Malformed or unknown-schema arrival plan: same contract as faults.
         print(f"error: invalid arrival plan: {exc}", file=sys.stderr)
+        return 2
+    except CoreUnavailableError as exc:
+        # Explicitly requested kernel core cannot run here: a usage error.
+        print(f"error: {exc}", file=sys.stderr)
         return 2
     except OSError as exc:
         # Unwritable --events/--trace path, unreadable log, and friends.

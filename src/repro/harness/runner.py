@@ -61,8 +61,17 @@ def build_cluster(
     cpu_sigma: float = 0.0,
     seed: int = 42,
     cores: int = 32,
+    core: Optional[str] = None,
 ) -> Cluster:
-    """A DAS-5-shaped cluster (paper section 6.1 defaults)."""
+    """A DAS-5-shaped cluster (paper section 6.1 defaults).
+
+    ``core`` selects the simulation kernel backend (``"python"`` /
+    ``"vector"``; see :mod:`repro.simulation.kernel`).  It travels inside
+    ``cluster_kwargs`` everywhere the harness serializes a run -- through
+    :class:`~repro.harness.parallel.RunConfig`, worker pools, and the fork
+    engine's shared prefix -- so a sweep replays on the same backend it was
+    planned with.
+    """
     try:
         profile = DEVICE_PROFILES[device]
     except KeyError:
@@ -76,7 +85,7 @@ def build_cluster(
         cpu_sigma=cpu_sigma,
         seed=seed,
     )
-    return Cluster(spec)
+    return Cluster(spec, core=core)
 
 
 def build_context(

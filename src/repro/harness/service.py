@@ -66,21 +66,25 @@ def _job_run_config(
     trace_path: Optional[str] = None,
     profile_path: Optional[str] = None,
     profile_interval: float = 1.0,
+    core: Optional[str] = None,
 ) -> RunConfig:
     """The inner-engine config for one job; mirrors ``repro run`` exactly."""
     template = arrival.template
+    cluster_kwargs = dict(
+        num_nodes=arrival.slots,
+        cores=cores,
+        device=device,
+        seed=template.seed,
+    )
+    if core is not None:
+        cluster_kwargs["core"] = core
     return RunConfig(
         workload=template.workload,
         policy=template.policy,
         key=key,
         workload_kwargs={"scale": template.scale},
         conf_overrides=dict(template.conf),
-        cluster_kwargs=dict(
-            num_nodes=arrival.slots,
-            cores=cores,
-            device=device,
-            seed=template.seed,
-        ),
+        cluster_kwargs=cluster_kwargs,
         fault_plan_doc=fault_plan_doc,
         events_path=events_path,
         trace_path=trace_path,
@@ -107,6 +111,7 @@ def compute_runtimes(
     trace_path: Optional[str] = None,
     profile_path: Optional[str] = None,
     profile_interval: float = 1.0,
+    core: Optional[str] = None,
 ) -> Tuple[Dict[str, float], int]:
     """Runtime oracle: ``(job_id -> service time, distinct engine runs)``.
 
@@ -131,6 +136,7 @@ def compute_runtimes(
                 trace_path=out(trace_path, arrival.job_id),
                 profile_path=out(profile_path, arrival.job_id),
                 profile_interval=profile_interval,
+                core=core,
             )
             for arrival in arrivals
         ]
@@ -144,7 +150,8 @@ def compute_runtimes(
                           arrival)
     keys = sorted(by_key, key=repr)
     configs = [
-        _job_run_config(by_key[key], index, cores, device, fault_plan_doc)
+        _job_run_config(by_key[key], index, cores, device, fault_plan_doc,
+                        core=core)
         for index, key in enumerate(keys)
     ]
     by_index = {
@@ -187,12 +194,15 @@ def run_service(
     profile_interval: float = 1.0,
     admission: Optional[AdmissionHook] = None,
     preemption: Optional[PreemptionHook] = None,
+    core: Optional[str] = None,
 ) -> ServiceReport:
     """Run one full service scenario and assemble its SLO report.
 
     ``seed`` (when given) overrides the plan's arrival seed, so one plan
     file can drive many seeded scenarios.  ``fault_plan_doc`` is injected
     into *every* inner engine run (contention under faults composes).
+    ``core`` selects the kernel backend for every inner engine run; the
+    report is byte-identical across backends.
     """
     if seed is not None and seed != plan.seed:
         plan = replace(plan, seed=seed)
@@ -207,6 +217,7 @@ def run_service(
         trace_path=trace_path,
         profile_path=profile_path,
         profile_interval=profile_interval,
+        core=core,
     )
     scheduler = ClusterScheduler(
         total_slots=total_nodes,

@@ -1,0 +1,124 @@
+"""Pluggable kernel cores: backend registry and selection.
+
+Two backends ship behind the :class:`~repro.simulation.kernel.base.KernelCore`
+interface:
+
+* ``python`` -- the pure-Python reference (the default).  Always available.
+* ``vector`` -- numpy-backed fair-share arithmetic.  Available only when
+  numpy is importable.
+
+Selection (:func:`resolve_core`):
+
+* an explicit name (``Simulator(core="vector")``, ``--core vector``) is
+  strict -- an unavailable backend raises :class:`CoreUnavailableError`
+  (the CLI maps this to exit code 2);
+* no selection consults the ``REPRO_CORE`` environment variable, then
+  defaults to ``python``; an env-selected backend that is unavailable
+  falls back to ``python`` with a :class:`RuntimeWarning` instead of
+  failing, so e.g. ``REPRO_CORE=vector pytest`` degrades gracefully on a
+  numpy-free host.
+
+Cores are stateless singletons (all per-resource state lives in objects
+attached to the resource), so resolution caches one instance per name.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Dict, Optional, Union
+
+from repro.simulation.kernel.base import KernelCore
+from repro.simulation.kernel.python_core import PythonCore
+
+__all__ = [
+    "CORE_NAMES",
+    "CoreUnavailableError",
+    "DEFAULT_CORE",
+    "ENV_VAR",
+    "KernelCore",
+    "core_available",
+    "default_core_name",
+    "resolve_core",
+]
+
+ENV_VAR = "REPRO_CORE"
+CORE_NAMES = ("python", "vector")
+DEFAULT_CORE = "python"
+
+
+class CoreUnavailableError(RuntimeError):
+    """An explicitly requested kernel core cannot run on this host."""
+
+
+_instances: Dict[str, KernelCore] = {}
+
+
+def core_available(name: str) -> bool:
+    """Whether the named backend can run here (imports lazily)."""
+    if name == "python":
+        return True
+    if name == "vector":
+        from repro.simulation.kernel.vector_core import VectorCore
+
+        return VectorCore.is_available()
+    return False
+
+
+def default_core_name() -> str:
+    """The backend used when no explicit selection is made."""
+    return os.environ.get(ENV_VAR) or DEFAULT_CORE
+
+
+def _instantiate(name: str) -> KernelCore:
+    core = _instances.get(name)
+    if core is None:
+        if name == "python":
+            core = PythonCore()
+        else:
+            from repro.simulation.kernel.vector_core import VectorCore
+
+            core = VectorCore()
+        _instances[name] = core
+    return core
+
+
+def resolve_core(
+    spec: Union[str, KernelCore, None] = None,
+) -> KernelCore:
+    """Resolve a core selector to a :class:`KernelCore` instance.
+
+    ``spec`` may be a :class:`KernelCore` (returned as-is), a backend name
+    (strict), or ``None`` (``REPRO_CORE`` env / default, with graceful
+    fallback).  See the module docstring for the exact semantics.
+    """
+    if isinstance(spec, KernelCore):
+        return spec
+    strict = spec is not None
+    name = spec if spec is not None else default_core_name()
+    if name not in CORE_NAMES:
+        if strict:
+            raise CoreUnavailableError(
+                f"unknown kernel core {name!r}; expected one of {CORE_NAMES}"
+            )
+        warnings.warn(
+            f"{ENV_VAR}={name!r} names no known kernel core "
+            f"(expected one of {CORE_NAMES}); using {DEFAULT_CORE!r}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        name = DEFAULT_CORE
+    elif not core_available(name):
+        if strict:
+            raise CoreUnavailableError(
+                f"kernel core {name!r} is unavailable on this host "
+                "(numpy is not installed)"
+            )
+        warnings.warn(
+            f"kernel core {name!r} is unavailable (numpy is not installed); "
+            f"falling back to {DEFAULT_CORE!r}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        name = DEFAULT_CORE
+    return _instantiate(name)

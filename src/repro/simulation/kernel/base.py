@@ -1,0 +1,95 @@
+"""The kernel-core interface: what a pluggable simulation backend provides.
+
+A *kernel core* is the narrow seam between the deterministic discrete-event
+machinery (``repro.simulation.core``) and an implementation strategy for its
+two hot loops:
+
+1. **The event queue** -- a binary heap of ``(when, sequence, payload)``
+   tuples managed with :mod:`heapq`, where ``payload`` is an
+   :class:`~repro.simulation.core.Event` or a
+   :class:`~repro.simulation.core._DeferredCall`.  ``sequence`` is the
+   monotonically increasing insertion counter shared by ``_schedule`` and
+   ``call_in``; it breaks ties between entries scheduled for the same
+   instant, which is what makes the kernel fully deterministic.
+   Cancellation is cooperative (generation guards on the callback side),
+   so a queue never needs random removal.  :meth:`KernelCore.create_queue`
+   supplies the backing list; the push/pop sites stay inlined in
+   :class:`~repro.simulation.core.Simulator` so the reference core pays
+   zero indirection per event.
+
+2. **Fair-share advance arithmetic** -- the ``_advance`` / ``_reschedule``
+   / ``_on_wake`` loops of
+   :class:`~repro.simulation.resources.FairShareResource`, which price
+   elapsed time into per-job remaining work and pick the next completion.
+   :meth:`KernelCore.attach_resource` may install an accelerated engine on
+   a resource instance (binding replacement methods); doing nothing keeps
+   the reference implementation.
+
+Backend contract (bit-identity)
+-------------------------------
+
+Event logs are byte-compared across backends, and resource counters
+(``work_done``, ``work_by_tag``, ``busy_time``, the integrals) flow back
+into the timeline through monitoring samplers and the adaptive policy.  An
+alternative core must therefore reproduce the reference *bit for bit*, not
+merely approximately:
+
+* every float must come from the same IEEE-754 expressions applied in the
+  same order as the reference loops in ``resources.py`` (e.g. a batched
+  accumulation must be strictly left-to-right, matching ``+=``);
+* queue tie-breaks must preserve the shared sequence counter semantics --
+  one increment per push, in program order;
+* dict key insertion order (``work_by_tag``) must be preserved, because
+  dict order survives into serialized metrics snapshots.
+
+``tests/test_golden_log.py`` and the cross-backend fuzz suite in
+``tests/simulation/test_kernel_cores.py`` enforce this contract.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, ClassVar, Dict, List
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulation.core import Simulator
+    from repro.simulation.resources import FairShareResource
+
+
+class KernelCore:
+    """Base class for kernel cores.
+
+    The defaults implement the *reference* behaviour: a plain list for the
+    heap and no acceleration hooks, so the pure-Python paths in
+    ``core.py``/``resources.py`` run untouched.  Subclasses override only
+    what they accelerate.
+    """
+
+    #: Registry name (``--core <name>`` on the CLI).
+    name: ClassVar[str] = "base"
+
+    @classmethod
+    def is_available(cls) -> bool:
+        """Whether this core can run on the current host."""
+        return True
+
+    def create_queue(self) -> List[tuple]:
+        """Return the backing store for the simulator's event heap."""
+        return []
+
+    def bind(self, sim: "Simulator") -> None:
+        """Called once by :class:`Simulator.__init__` after queue creation."""
+
+    def attach_resource(self, resource: "FairShareResource") -> None:
+        """Called once per fair-share resource, at the end of its __init__.
+
+        An accelerated core may install replacement ``submit`` /
+        ``_advance`` / ``_reschedule`` / ``_on_wake`` bound methods on the
+        instance here.  The default installs nothing.
+        """
+
+    def metadata(self) -> Dict[str, Any]:
+        """Descriptive metadata for bench output and run records."""
+        return {"core": self.name}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

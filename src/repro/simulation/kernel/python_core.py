@@ -1,0 +1,23 @@
+"""The reference kernel core: pure Python, zero indirection.
+
+This core installs nothing.  The event loop in
+:class:`~repro.simulation.core.Simulator` and the fair-share loops in
+:class:`~repro.simulation.resources.FairShareResource` *are* the
+implementation; keeping them as plain methods (rather than routing through
+the core object) means selecting ``--core python`` costs exactly nothing
+relative to the pre-interface kernel -- important because
+``repro bench --check`` gates those paths against committed floors.
+
+Every other core is defined by being observably identical to this one
+(see the backend contract in :mod:`repro.simulation.kernel.base`).
+"""
+
+from __future__ import annotations
+
+from repro.simulation.kernel.base import KernelCore
+
+
+class PythonCore(KernelCore):
+    """Pure-Python reference backend (the default)."""
+
+    name = "python"

@@ -1,0 +1,673 @@
+"""Vectorized fair-share engine: per-resource job state in numpy arrays.
+
+The reference ``_advance``/``_reschedule``/``_on_wake`` loops in
+``resources.py`` are per-job Python: one iteration per active job per
+membership change, which makes a resource with *n* concurrent jobs cost
+O(n) interpreted work per event.  This core keeps each resource's job
+state in parallel numpy arrays (remaining work, original work, tag code,
+alive mask) so the uniform-rate paths become a handful of C-level array
+ops regardless of n.
+
+Bit-identity with the reference (the contract in ``kernel.base``) rests on
+verified properties of the numpy operations used:
+
+* ``np.minimum(remaining, base)`` computes exactly the reference clamp
+  ``base if base <= r else r`` element-wise (same IEEE compare + select).
+* ``np.cumsum(steps)[-1]`` is a strict left-to-right accumulation, bit
+  identical to the reference's ``moved += step`` loop; interleaved zero
+  steps from dead slots cannot change any partial sum (``x + 0.0 == x``
+  for the non-negative accumulator).
+* Tag totals accumulate per contiguous run in the reference, but each
+  run only continues the tag's stored value (splitting a run is
+  value-preserving), so per *tag* the accumulation is a single sequential
+  chain over that tag's jobs in list order.  A cumsum over
+  ``[previous_total, step, step, ...]`` -- the steps gathered per tag
+  code in slot order -- equals that chain bit for bit.  Iterating tag
+  codes in interning order preserves the dict's insertion order too: a
+  live lower-code job sitting *after* a higher-code job implies an
+  earlier same-tag job already completed (jobs only leave by completing,
+  which credits the tag), so never-credited tags always appear in
+  interning == slot order.
+* ``max`` over non-NaN floats is associative, so the vectorized
+  completion threshold ``np.maximum(work * REL, max(ABS, uniform_eps))``
+  equals the reference three-way ``max``.
+
+Dead slots are tombstones: ``remaining = +inf`` (never below a finite
+completion threshold, never the horizon minimum), ``alive = 0.0`` (mask
+multiply zeroes their steps), tag code 0 (excluded from tag accounting).
+Slots are compacted only when tombstones outnumber live jobs, so detach
+stays O(1) amortized.  ``resource._jobs`` remains a compact live-only
+list throughout -- subclass rate curves (e.g. the storage device's
+mixed-op scan) and samplers iterate it directly.
+
+Below ``_SCALAR_CUTOFF`` live jobs the fixed per-call numpy overhead
+exceeds the vector win, so small sets round-trip through ``tolist()`` and
+run the exact reference loop over plain floats (C-speed gather/scatter,
+identical expressions).
+
+Resources that declare ``_rate_groups`` (e.g. the storage device, whose
+rate depends only on the job's ``op``) get a vectorized non-uniform path
+too: group values are interned to integer codes, ``group_rate`` is called
+once per *live group* instead of once per job, and per-slot rates are a
+fancy-index gather from that tiny lookup table.  Every per-slot float
+(``rate * dt`` step, ``remaining / rate`` horizon quotient,
+``rate * 1e-6`` threshold term) is then the same expression the reference
+evaluates per job, so bit-identity holds exactly as in the uniform case.
+Resources with genuinely unstructured rates always take the reference
+per-job dict path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional
+
+try:  # numpy is optional; kernel/__init__ gates selection on availability
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via registry tests
+    np = None  # type: ignore[assignment]
+
+from repro.simulation.core import SimulationError
+from repro.simulation.kernel.base import KernelCore
+from repro.simulation.resources import _ABSOLUTE_EPS, _RELATIVE_EPS, Job
+
+#: The parent class stores ``remaining`` in a slot; keep that descriptor so
+#: detached jobs (finished, or never attached) still have scalar storage
+#: behind the :class:`_VectorJob` property.
+_JOB_REMAINING = Job.__dict__["remaining"]
+
+#: Below this many live jobs the scalar path wins (measured; see
+#: PERFORMANCE.md "Kernel cores").
+_SCALAR_CUTOFF = 32
+
+_MIN_CAPACITY = 64
+
+
+class VectorCore(KernelCore):
+    """Numpy-backed fair-share engine (``--core vector``)."""
+
+    name = "vector"
+
+    @classmethod
+    def is_available(cls) -> bool:
+        return np is not None
+
+    def bind(self, sim: Any) -> None:
+        if np is None:  # pragma: no cover - registry refuses to resolve first
+            raise SimulationError("vector core requires numpy")
+
+    def attach_resource(self, resource: Any) -> None:
+        # Only resources the engine can batch benefit: uniform-capable ones
+        # and group-structured ones.  A subclass with a custom, unstructured
+        # rates() keeps the reference implementation, exactly as the scalar
+        # fast path already does.
+        if resource._uniform_hook or type(resource)._rate_groups is not None:
+            _VectorFairShare(resource)
+
+    def metadata(self) -> Dict[str, Any]:
+        return {
+            "core": self.name,
+            "numpy": getattr(np, "__version__", None),
+            "scalar_cutoff": _SCALAR_CUTOFF,
+        }
+
+
+class _VectorJob(Job):
+    """A job whose ``remaining`` lives in its resource's state arrays.
+
+    While attached (``_slot >= 0``) reads and writes go to the array slot;
+    once detached the parent's slot storage takes over, holding the final
+    0.0 the reference implementation leaves behind.
+    """
+
+    __slots__ = ("_vec", "_slot", "_code", "_gcode")
+
+    def __init__(
+        self,
+        resource: Any,
+        work: float,
+        tag: str,
+        attrs: Dict[str, Any],
+    ) -> None:
+        # Job.__init__ assigns ``remaining``; route that first write to the
+        # parent slot until _append() adopts the job into the arrays.
+        self._vec: Optional["_VectorFairShare"] = None
+        self._slot = -1
+        self._code = 0
+        self._gcode = 0
+        super().__init__(resource, work, tag, attrs)
+
+    @property
+    def remaining(self) -> float:
+        slot = self._slot
+        if slot < 0:
+            return _JOB_REMAINING.__get__(self)
+        return float(self._vec.remaining[slot])
+
+    @remaining.setter
+    def remaining(self, value: float) -> None:
+        slot = self._slot
+        if slot < 0:
+            _JOB_REMAINING.__set__(self, value)
+        else:
+            self._vec.remaining[slot] = value
+
+
+class _VectorFairShare:
+    """Array-backed engine for one fair-share resource.
+
+    Installing an instance rebinds the resource's ``_new_job`` / ``_admit``
+    / ``_advance`` / ``_reschedule`` / ``_on_wake`` to bound methods of
+    this object; ``submit`` itself stays the reference implementation (so
+    subclass overrides like the storage device's op accounting compose).
+    The resource's public surface (``stats``, ``_jobs``, ``_last_update``,
+    ``_wake_generation``, ``sample_counters``) is unchanged, so samplers,
+    the fault injector, and subclass rate curves need no adaptation.
+    """
+
+    __slots__ = (
+        "resource",
+        "remaining",
+        "work",
+        "work_rel",
+        "alive",
+        "tag_codes",
+        "group_codes",
+        "slot_jobs",
+        "size",
+        "live",
+        "dead",
+        "rate_key",
+        "rate_default",
+        "_tag_code",
+        "_code_tags",
+        "_code_live",
+        "_group_code",
+        "_gcode_values",
+        "_gcode_live",
+        "_scratch",
+        "_scratch2",
+        "_carry",
+    )
+
+    def __init__(self, resource: Any) -> None:
+        self.resource = resource
+        self.remaining = np.empty(_MIN_CAPACITY, dtype=np.float64)
+        self.work = np.empty(_MIN_CAPACITY, dtype=np.float64)
+        #: ``work * _RELATIVE_EPS`` cached per slot: the per-wake completion
+        #: threshold recomputes only the uniform-dependent floor.
+        self.work_rel = np.empty(_MIN_CAPACITY, dtype=np.float64)
+        self.alive = np.empty(_MIN_CAPACITY, dtype=np.float64)
+        self.tag_codes = np.empty(_MIN_CAPACITY, dtype=np.int64)
+        #: Rate-group code per slot (resources declaring ``_rate_groups``).
+        self.group_codes = np.empty(_MIN_CAPACITY, dtype=np.int64)
+        #: Reusable per-advance buffers (steps / thresholds / gathered
+        #: rates, carry+cumsum); sized with the slot arrays so hot paths
+        #: allocate nothing.
+        self._scratch = np.empty(_MIN_CAPACITY, dtype=np.float64)
+        self._scratch2 = np.empty(_MIN_CAPACITY, dtype=np.float64)
+        self._carry = np.empty(_MIN_CAPACITY + 1, dtype=np.float64)
+        #: Per-slot job object; ``None`` marks a tombstone.
+        self.slot_jobs: List[Optional[_VectorJob]] = []
+        self.size = 0  # slots in use (live + tombstones)
+        self.live = 0
+        self.dead = 0
+        groups = type(resource)._rate_groups
+        self.rate_key: Optional[str] = groups[0] if groups else None
+        self.rate_default: str = groups[1] if groups else ""
+        self._tag_code: Dict[str, int] = {"": 0}
+        self._code_tags: List[str] = [""]
+        #: Live jobs per tag code (index 0 = untagged); lets the advance
+        #: loop touch only tags that are actually present.
+        self._code_live: List[int] = [0]
+        #: Rate-group interning: value -> code, code -> value, live count
+        #: per code (``group_rate`` is called once per live code, not once
+        #: per job).
+        self._group_code: Dict[str, int] = {}
+        self._gcode_values: List[str] = []
+        self._gcode_live: List[int] = []
+        resource._vector_state = self
+        resource._new_job = self._new_job
+        resource._admit = self._append
+        resource._advance = self.advance
+        resource._reschedule = self.reschedule
+        resource._on_wake = self.on_wake
+
+    # -- membership --------------------------------------------------------
+
+    def _new_job(self, work: float, tag: str, attrs: Dict[str, Any]) -> Job:
+        return _VectorJob(self.resource, work, tag, attrs)
+
+    def _append(self, job: _VectorJob) -> None:
+        slot = self.size
+        if slot == len(self.remaining):
+            self._grow()
+        self.remaining[slot] = job.work
+        self.work[slot] = job.work
+        self.work_rel[slot] = job.work * _RELATIVE_EPS
+        self.alive[slot] = 1.0
+        code = self._tag_code.get(job.tag)
+        if code is None:
+            code = len(self._code_tags)
+            self._tag_code[job.tag] = code
+            self._code_tags.append(job.tag)
+            self._code_live.append(0)
+        self.tag_codes[slot] = code
+        self._code_live[code] += 1
+        if self.rate_key is not None:
+            value = job.attrs.get(self.rate_key, self.rate_default)
+            gcode = self._group_code.get(value)
+            if gcode is None:
+                gcode = len(self._gcode_values)
+                self._group_code[value] = gcode
+                self._gcode_values.append(value)
+                self._gcode_live.append(0)
+            self.group_codes[slot] = gcode
+            self._gcode_live[gcode] += 1
+            job._gcode = gcode
+        self.slot_jobs.append(job)
+        job._vec = self
+        job._slot = slot
+        job._code = code
+        self.size = slot + 1
+        self.live += 1
+        self.resource._jobs.append(job)
+
+    def _grow(self) -> None:
+        capacity = 2 * len(self.remaining)
+        for name in (
+            "remaining", "work", "work_rel", "alive", "tag_codes",
+            "group_codes",
+        ):
+            old = getattr(self, name)
+            new = np.empty(capacity, dtype=old.dtype)
+            new[: self.size] = old[: self.size]
+            setattr(self, name, new)
+        self._scratch = np.empty(capacity, dtype=np.float64)
+        self._scratch2 = np.empty(capacity, dtype=np.float64)
+        self._carry = np.empty(capacity + 1, dtype=np.float64)
+
+    def _detach(self, slot: int, job: _VectorJob) -> None:
+        self.remaining[slot] = math.inf
+        self.alive[slot] = 0.0
+        self.tag_codes[slot] = 0
+        self._code_live[job._code] -= 1
+        if self.rate_key is not None:
+            self.group_codes[slot] = 0
+            self._gcode_live[job._gcode] -= 1
+        self.slot_jobs[slot] = None
+        job._slot = -1
+        job._vec = None
+        # The reference zeroes remaining at force-finish; preserve that for
+        # anything inspecting the job after completion.
+        _JOB_REMAINING.__set__(job, 0.0)
+        self.live -= 1
+        self.dead += 1
+
+    def _compact(self) -> None:
+        n = self.size
+        keep = self.alive[:n] > 0.5
+        capacity = len(self.remaining)
+        for name in (
+            "remaining", "work", "work_rel", "alive", "tag_codes",
+            "group_codes",
+        ):
+            old = getattr(self, name)
+            new = np.empty(capacity, dtype=old.dtype)
+            kept = old[:n][keep]
+            new[: len(kept)] = kept
+            setattr(self, name, new)
+        survivors = [job for job in self.slot_jobs if job is not None]
+        for slot, job in enumerate(survivors):
+            job._slot = slot
+        self.slot_jobs = survivors
+        self.size = len(survivors)
+        self.dead = 0
+
+    # -- advance -----------------------------------------------------------
+
+    def advance(self) -> None:
+        resource = self.resource
+        now = resource.sim.now
+        dt = now - resource._last_update
+        if dt <= 0:
+            resource._last_update = now
+            return
+        if self.live:
+            uniform = resource.uniform_rate(self.live)
+            if uniform is not None:
+                if self.live < _SCALAR_CUTOFF:
+                    self._advance_scalar(dt, uniform)
+                else:
+                    self._advance_vector(dt, uniform)
+            elif self.rate_key is not None and self.live >= _SCALAR_CUTOFF:
+                self._advance_groups(dt)
+            else:
+                self._advance_fallback(dt)
+        resource._last_update = now
+
+    def _group_rates(self, n: int) -> Any:
+        """Per-slot rate array for a group-structured resource.
+
+        Calls ``group_rate`` once per live group (2-3 python calls instead
+        of one per job), then gathers per-slot rates from the tiny lookup
+        table.  Codes with no live job get a benign 1.0 placeholder: their
+        slots are tombstones, whose steps are masked to zero and whose
+        ``inf`` remaining keeps every quotient/threshold inert.  Returns
+        ``(rates, all_positive)``; callers that need positive rates (the
+        horizon) fall back to the reference loop when the flag is false.
+        """
+        resource = self.resource
+        live = self.live
+        values = self._gcode_values
+        lut = np.empty(len(values), dtype=np.float64)
+        positive = True
+        for gcode, count in enumerate(self._gcode_live):
+            if count:
+                rate = resource.group_rate(values[gcode], live)
+                if rate <= 0:
+                    positive = False
+                lut[gcode] = rate
+            else:
+                lut[gcode] = 1.0
+        rates = np.take(lut, self.group_codes[:n], out=self._scratch2[:n])
+        return rates, positive
+
+    def _advance_vector(self, dt: float, uniform: float) -> None:
+        resource = self.resource
+        n = self.size
+        rem = self.remaining[:n]
+        steps = np.minimum(rem, uniform * dt, out=self._scratch[:n])
+        if self.dead:
+            steps *= self.alive[:n]  # dead slots take a zero step
+        rem -= steps
+        moved = float(steps.cumsum()[-1])
+        stats = resource.stats
+        self._credit_tags(steps, n, stats.work_by_tag)
+        stats.busy_time += dt
+        stats.work_done += moved
+        stats.concurrency_integral += self.live * dt
+        stats.occupancy_integral += resource._occupied(self.live) * dt
+
+    def _advance_groups(self, dt: float) -> None:
+        # Same shape as the uniform vector path, with the scalar
+        # ``uniform * dt`` replaced by a per-slot ``rates * dt`` -- each
+        # element is the very multiply the reference fallback performs for
+        # that job (rates() delegates to group_rate()).
+        resource = self.resource
+        n = self.size
+        rates, _ = self._group_rates(n)
+        rem = self.remaining[:n]
+        rates *= dt  # in place: scratch2 is refilled on every gather
+        steps = np.minimum(rem, rates, out=self._scratch[:n])
+        if self.dead:
+            steps *= self.alive[:n]
+        rem -= steps
+        moved = float(steps.cumsum()[-1])
+        stats = resource.stats
+        self._credit_tags(steps, n, stats.work_by_tag)
+        stats.busy_time += dt
+        stats.work_done += moved
+        stats.concurrency_integral += self.live * dt
+        stats.occupancy_integral += resource._occupied(self.live) * dt
+
+    def _credit_tags(self, steps: Any, n: int, work_by_tag: Dict[str, float]) -> None:
+        code_live = self._code_live
+        single = 0
+        multi = False
+        for code in range(1, len(code_live)):
+            if code_live[code]:
+                if single:
+                    multi = True
+                    break
+                single = code
+        if not single:
+            return
+        # Per-tag accumulation: the reference's run-batched loop reduces
+        # to one sequential chain per tag in list order (see module
+        # docstring), which a carry-prepended cumsum over that tag's
+        # gathered steps reproduces bit for bit.  Dead slots carry code
+        # 0 and a zero step, so they never pollute a tag.
+        code_tags = self._code_tags
+        if not multi and not code_live[0]:
+            # Every live job shares one tag (the common device phase):
+            # interleaved zero steps from tombstones cannot change any
+            # partial sum of the non-negative chain.
+            tag = code_tags[single]
+            buf = self._carry[: n + 1]
+            buf[0] = work_by_tag.get(tag, 0.0)
+            buf[1:] = steps
+            work_by_tag[tag] = float(buf.cumsum()[-1])
+        else:
+            codes = self.tag_codes[:n]
+            for code in range(single, len(code_live)):
+                if not code_live[code]:
+                    continue
+                tag = code_tags[code]
+                seg = steps[codes == code]
+                buf = np.empty(seg.size + 1, dtype=np.float64)
+                buf[0] = work_by_tag.get(tag, 0.0)
+                buf[1:] = seg
+                work_by_tag[tag] = float(buf.cumsum()[-1])
+
+    def _advance_scalar(self, dt: float, uniform: float) -> None:
+        # The reference loop verbatim, over plain floats gathered from the
+        # arrays (numpy scalar indexing in a loop would be slower than the
+        # original; a tolist round-trip is not).
+        resource = self.resource
+        n = self.size
+        rem_list = self.remaining[:n].tolist()
+        base_step = uniform * dt
+        stats = resource.stats
+        work_by_tag = stats.work_by_tag
+        moved = 0.0
+        run_tag = ""
+        run_total = 0.0
+        for slot, job in enumerate(self.slot_jobs):
+            if job is None:
+                continue
+            remaining = rem_list[slot]
+            step = base_step
+            if step > remaining:
+                step = remaining
+            rem_list[slot] = remaining - step
+            moved += step
+            tag = job.tag
+            if tag:
+                if tag != run_tag:
+                    if run_tag:
+                        work_by_tag[run_tag] = run_total
+                    run_tag = tag
+                    run_total = work_by_tag.get(tag, 0.0)
+                run_total += step
+        if run_tag:
+            work_by_tag[run_tag] = run_total
+        self.remaining[:n] = rem_list
+        stats.busy_time += dt
+        stats.work_done += moved
+        stats.concurrency_integral += self.live * dt
+        stats.occupancy_integral += resource._occupied(self.live) * dt
+
+    def _advance_fallback(self, dt: float) -> None:
+        # Non-uniform rates (e.g. a device serving mixed read/write sets):
+        # per-job dict pricing, identical to the reference's rates() branch.
+        resource = self.resource
+        jobs = resource._jobs
+        rates = resource.rates(jobs)
+        n = self.size
+        rem_list = self.remaining[:n].tolist()
+        stats = resource.stats
+        work_by_tag = stats.work_by_tag
+        moved = 0.0
+        run_tag = ""
+        run_total = 0.0
+        for job in jobs:
+            slot = job._slot
+            remaining = rem_list[slot]
+            step = rates[job] * dt
+            if step > remaining:
+                step = remaining
+            rem_list[slot] = remaining - step
+            moved += step
+            tag = job.tag
+            if tag:
+                if tag != run_tag:
+                    if run_tag:
+                        work_by_tag[run_tag] = run_total
+                    run_tag = tag
+                    run_total = work_by_tag.get(tag, 0.0)
+                run_total += step
+        if run_tag:
+            work_by_tag[run_tag] = run_total
+        self.remaining[:n] = rem_list
+        stats.busy_time += dt
+        stats.work_done += moved
+        stats.concurrency_integral += len(jobs) * dt
+        stats.occupancy_integral += resource._occupied(len(jobs)) * dt
+
+    # -- completion planning ----------------------------------------------
+
+    def reschedule(self) -> None:
+        resource = self.resource
+        resource._wake_generation += 1
+        if not self.live:
+            return
+        generation = resource._wake_generation
+        uniform = resource.uniform_rate(self.live)
+        horizon = math.inf
+        if uniform is not None:
+            if uniform > 0:
+                # Tombstones hold +inf, so the array minimum is the live
+                # minimum; division by a positive constant is monotone.
+                horizon = float(self.remaining[: self.size].min()) / uniform
+        else:
+            grouped = (
+                self.rate_key is not None and self.live >= _SCALAR_CUTOFF
+            )
+            if grouped:
+                n = self.size
+                rates, positive = self._group_rates(n)
+                if positive:
+                    # Each quotient is the reference's per-job
+                    # ``remaining / rate`` float exactly; tombstones give
+                    # ``inf / 1.0 = inf``.  The minimum of non-NaN floats
+                    # is order-independent.
+                    quot = np.divide(
+                        self.remaining[:n], rates, out=self._scratch[:n]
+                    )
+                    horizon = float(quot.min())
+                else:
+                    grouped = False
+            if not grouped:
+                rates_map = resource.rates(resource._jobs)
+                rem = self.remaining
+                for job in resource._jobs:
+                    rate = rates_map[job]
+                    if rate <= 0:
+                        continue
+                    candidate = float(rem[job._slot]) / rate
+                    if candidate < horizon:
+                        horizon = candidate
+        if not math.isfinite(horizon):
+            raise SimulationError(
+                f"resource {resource.name!r} has active jobs but zero service rate"
+            )
+        floor = max(1e-9, resource.sim.now * 1e-11)
+        resource.sim.call_in(max(horizon, floor), self.on_wake, generation)
+
+    def on_wake(self, generation: int) -> None:
+        resource = self.resource
+        if generation != resource._wake_generation:
+            return  # superseded by a later membership change
+        self.advance()
+        if self.live:
+            uniform = resource.uniform_rate(self.live)
+            if uniform is not None:
+                self._complete_uniform(uniform)
+            elif self.rate_key is not None and self.live >= _SCALAR_CUTOFF:
+                self._complete_groups()
+            else:
+                self._complete_fallback()
+        self.reschedule()
+
+    def _complete_uniform(self, uniform: float) -> None:
+        n = self.size
+        rem = self.remaining[:n]
+        floor_eps = _ABSOLUTE_EPS
+        uniform_eps = uniform * 1e-6
+        if uniform_eps > floor_eps:
+            floor_eps = uniform_eps
+        thresholds = np.maximum(self.work_rel[:n], floor_eps,
+                                out=self._scratch[:n])
+        self._finish(np.flatnonzero(rem <= thresholds), rem)
+
+    def _complete_groups(self) -> None:
+        n = self.size
+        rem = self.remaining[:n]
+        rates, _ = self._group_rates(n)
+        # max over non-NaN floats is associative/commutative, so regrouping
+        # the reference's three-way max(ABS, work*REL, rate*1e-6) per slot
+        # yields the identical float (max returns one operand exactly).
+        rates *= 1e-6  # in place: scratch2 is refilled on every gather
+        thresholds = np.maximum(self.work_rel[:n], _ABSOLUTE_EPS,
+                                out=self._scratch[:n])
+        np.maximum(thresholds, rates, out=thresholds)
+        self._finish(np.flatnonzero(rem <= thresholds), rem)
+
+    def _finish(self, finished_slots: Any, rem: Any) -> None:
+        if not len(finished_slots):
+            return
+        resource = self.resource
+        stats = resource.stats
+        work_by_tag = stats.work_by_tag
+        finished: List[_VectorJob] = []
+        for slot in finished_slots.tolist():
+            job = self.slot_jobs[slot]
+            residual = float(rem[slot])
+            # Credit the sub-threshold residual before tombstoning, exactly
+            # as the reference does: conservation counters must balance.
+            if residual > 0.0:
+                stats.work_done += residual
+                if job.tag:
+                    work_by_tag[job.tag] = work_by_tag.get(job.tag, 0.0) + residual
+            self._detach(slot, job)
+            finished.append(job)
+        resource._jobs = [job for job in resource._jobs if job._slot >= 0]
+        for job in finished:
+            stats.jobs_completed += 1
+            job.event.succeed(job)
+        if self.dead > self.live and self.dead >= _MIN_CAPACITY // 2:
+            self._compact()
+
+    def _complete_fallback(self) -> None:
+        resource = self.resource
+        jobs = resource._jobs
+        rates = resource.rates(jobs)
+        stats = resource.stats
+        work_by_tag = stats.work_by_tag
+        rem = self.remaining
+        finished: List[_VectorJob] = []
+        for job in jobs:
+            slot = job._slot
+            remaining = float(rem[slot])
+            threshold = max(
+                _ABSOLUTE_EPS,
+                job.work * _RELATIVE_EPS,
+                rates[job] * 1e-6,
+            )
+            if remaining <= threshold:
+                if remaining > 0.0:
+                    stats.work_done += remaining
+                    if job.tag:
+                        work_by_tag[job.tag] = (
+                            work_by_tag.get(job.tag, 0.0) + remaining
+                        )
+                self._detach(slot, job)
+                finished.append(job)
+        if finished:
+            resource._jobs = [job for job in jobs if job._slot >= 0]
+            for job in finished:
+                stats.jobs_completed += 1
+                job.event.succeed(job)
+            if self.dead > self.live and self.dead >= _MIN_CAPACITY // 2:
+                self._compact()

@@ -21,7 +21,7 @@ Fig. 5/7) and at high thread counts on SSDs (Fig. 10).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.simulation.core import Event, Simulator
 from repro.simulation.resources import FairShareResource, Job
@@ -117,6 +117,12 @@ class StorageDevice(FairShareResource):
     accounted separately.
     """
 
+    #: Rates are op-structured: every job doing the same operation gets the
+    #: same share (see :meth:`group_rate`), which lets the vector kernel
+    #: batch mixed read/write phases instead of falling back to per-job
+    #: dicts.
+    _rate_groups = ("op", "read")
+
     def __init__(
         self,
         sim: Simulator,
@@ -129,22 +135,51 @@ class StorageDevice(FairShareResource):
         super().__init__(sim, name, capacity=profile.read_rate)
         self.profile = profile
         self.speed_factor = speed_factor
+        #: In-flight jobs per op.  Incremented before service starts and
+        #: decremented on the completion callback, so each count is always
+        #: >= the number of live jobs with that op: a zero count proves the
+        #: op absent, which is all :meth:`uniform_rate` needs.  Transient
+        #: over-counts (a completion's callback not yet run) only send the
+        #: kernel down the per-job :meth:`rates` path, which computes the
+        #: exact same floats.
+        self._op_counts: Dict[str, int] = {"read": 0, "write": 0}
         #: Optional span tracer, wired by the owning context; every hook
         #: guards on it so untraced runs pay one attribute read per request.
         self.tracer = None
 
+    def submit(self, work: float, tag: str = "", **attrs: Any) -> Job:
+        op = attrs.get("op", "read")
+        counts = self._op_counts
+        counts[op] = counts.get(op, 0) + 1
+        job = super().submit(work, tag, **attrs)
+        if job.event.triggered:
+            counts[op] -= 1  # zero-work job: never entered service
+        else:
+            # The callback list keeps relative event order intact: nothing
+            # new is scheduled, so sequence numbers are unchanged.
+            job.event.add_callback(lambda _event: self._release_op(op))
+        return job
+
+    def _release_op(self, op: str) -> None:
+        self._op_counts[op] -= 1
+
+    def group_rate(self, op: str, n: int) -> float:
+        """Per-stream rate when ``n`` streams are active and this one does
+        ``op``; the single expression behind :meth:`rates` and
+        :meth:`uniform_rate` (bit-identity across the three entry points)."""
+        return (
+            self.profile.rate(op)
+            * self.profile.efficiency(op, n)
+            * self.speed_factor
+            / n
+        )
+
     def rates(self, jobs: List[Job]) -> Dict[Job, float]:
         k = len(jobs)
-        per_job: Dict[Job, float] = {}
-        for job in jobs:
-            op = job.attrs.get("op", "read")
-            aggregate = (
-                self.profile.rate(op)
-                * self.profile.efficiency(op, k)
-                * self.speed_factor
-            )
-            per_job[job] = aggregate / k
-        return per_job
+        return {
+            job: self.group_rate(job.attrs.get("op", "read"), k)
+            for job in jobs
+        }
 
     def uniform_rate(self, n: int) -> Optional[float]:
         """Scalar rate when every active stream performs the same operation.
@@ -154,17 +189,21 @@ class StorageDevice(FairShareResource):
         skips the per-job dict; mixed read/write sets fall back to
         :meth:`rates`.
         """
-        jobs = self._jobs
-        op = jobs[0].attrs.get("op", "read")
-        for job in jobs:
-            if job.attrs.get("op", "read") != op:
-                return None
-        aggregate = (
-            self.profile.rate(op)
-            * self.profile.efficiency(op, n)
-            * self.speed_factor
-        )
-        return aggregate / n
+        counts = self._op_counts
+        if counts["read"]:
+            if counts["write"]:
+                # Possibly mixed; scan the live set to be sure (a pending
+                # completion callback can leave a stale count behind).
+                jobs = self._jobs
+                op = jobs[0].attrs.get("op", "read")
+                for job in jobs:
+                    if job.attrs.get("op", "read") != op:
+                        return None
+            else:
+                op = "read"
+        else:
+            op = "write"
+        return self.group_rate(op, n)
 
     def request(self, size: float, op: str) -> Event:
         """Issue one I/O request: access latency, then bandwidth service.

@@ -97,12 +97,25 @@ class TestSuiteShape:
         doc = bench.run_suite(smoke=True, parallel=1)
         assert doc["schema"] == bench.BENCH_SCHEMA
         assert doc["mode"] == "smoke"
-        expected = {"kernel_terasort", "kernel_storm", "e2e_terasort",
-                    "e2e_pagerank", "profiler_overhead", "sweep",
-                    "fork_sweep"}
+        expected = {"kernel_terasort", "kernel_terasort_vector",
+                    "kernel_fairshare", "kernel_fairshare_vector",
+                    "kernel_storm", "e2e_terasort", "e2e_pagerank",
+                    "profiler_overhead", "sweep", "fork_sweep"}
         assert set(doc["benchmarks"]) == expected
+        vector_benches = {"kernel_terasort_vector", "kernel_fairshare_vector"}
+        from repro.simulation.kernel import core_available
         for name in expected - {"sweep", "profiler_overhead", "fork_sweep"}:
-            assert doc["benchmarks"][name]["events_per_sec"] > 0
+            result = doc["benchmarks"][name]
+            if name in vector_benches and not core_available("vector"):
+                # Numpy-free host: pinned-core benches skip, never fail.
+                assert result["events_per_sec"] is None
+                assert result["skipped"]
+            else:
+                assert result["events_per_sec"] > 0
+        # The suite follows the session default (REPRO_CORE env or python).
+        from repro.simulation.kernel import resolve_core
+        assert doc["cores"]["active"]["core"] == resolve_core(None).name
+        assert "python" in doc["cores"]["available"]
         sweep = doc["benchmarks"]["sweep"]
         assert sweep["points"] == 8
         assert sweep["runs_per_min"] > 0

@@ -381,3 +381,61 @@ class TestServe:
                      "--cores", "8", "--events", str(run_log)]) == 0
         capsys.readouterr()
         assert serve_log.read_bytes() == run_log.read_bytes()
+
+
+class TestCoreFlag:
+    def test_parser_accepts_core_on_every_subcommand(self):
+        parser = build_parser()
+        for argv in (
+            ["run", "wordcount", "--core", "vector"],
+            ["sweep", "wordcount", "--core", "vector"],
+            ["compare", "wordcount", "--core", "vector"],
+            ["whatif", "wordcount", "--at", "5", "--core", "vector"],
+            ["serve", "--plan", "x.json", "--core", "vector"],
+            ["bench", "--core", "vector"],
+        ):
+            assert parser.parse_args(argv).core == "vector"
+
+    def test_parser_rejects_unknown_core(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "wordcount", "--core", "fpga"])
+
+    def test_unavailable_core_exits_2(self, monkeypatch, capsys):
+        from repro.simulation.kernel import _instances, vector_core
+
+        monkeypatch.setattr(vector_core, "np", None)
+        monkeypatch.delitem(_instances, "vector", raising=False)
+        code = main(["run", "wordcount", "--scale", "0.02", "--nodes", "2",
+                     "--cores", "4", "--core", "vector"])
+        assert code == 2
+        assert "unavailable" in capsys.readouterr().err
+
+    def test_run_results_identical_across_cores(self, capsys):
+        pytest.importorskip("numpy")
+        docs = {}
+        for core in ("python", "vector"):
+            assert main(["run", "terasort", "--scale", "0.02", "--nodes", "2",
+                         "--cores", "4", "--core", core, "--json"]) == 0
+            docs[core] = capsys.readouterr().out
+        assert docs["python"] == docs["vector"]
+
+
+class TestBenchJson:
+    def test_bench_json_emits_doc_with_cores_metadata(self, capsys):
+        assert main(["bench", "--smoke", "--only", "kernel_fairshare",
+                     "--core", "python"]) == 0
+        capsys.readouterr()
+        assert main(["bench", "--smoke", "--only", "kernel_fairshare",
+                     "--core", "python", "--json"]) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out)
+        assert "kernel_fairshare" in doc["benchmarks"]
+        assert doc["cores"]["active"]["core"] == "python"
+        assert "available" in doc["cores"]
+
+    def test_bench_core_flag_pins_backend(self, capsys):
+        pytest.importorskip("numpy")
+        assert main(["bench", "--smoke", "--only", "kernel_fairshare",
+                     "--core", "vector", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["cores"]["active"]["core"] == "vector"
