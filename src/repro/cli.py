@@ -30,7 +30,12 @@ import sys
 from typing import List, Optional
 
 from repro.atomicio import atomic_write_json
-from repro.faults.plan import CANNED_PLANS, FaultPlan, FaultPlanError
+from repro.faults.plan import (
+    CANNED_CHAOS,
+    CANNED_PLANS,
+    FaultPlan,
+    FaultPlanError,
+)
 from repro.harness.fork import ForkBarrierNotReached, ForkUnavailableError
 from repro.harness.parallel import (
     QuarantinedConfigError,
@@ -164,6 +169,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     show.add_argument("plan", help="fault plan JSON (see FAULTS.md)")
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="cluster-scope chaos plans for 'repro serve --faults' "
+             "(see FAULTS.md, 'Cluster failure model')",
+    )
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+    cgen = chaos_sub.add_parser(
+        "generate", help="write a canned repro.faults/2 chaos plan as JSON"
+    )
+    cgen.add_argument("kind", choices=sorted(CANNED_CHAOS))
+    cgen.add_argument("--out", metavar="PATH", default=None,
+                      help="output path (default: stdout)")
+    cgen.add_argument("--node", type=int, default=None,
+                      help="target node id (node-churn / slot-flaps / "
+                           "overload)")
+    cgen.add_argument("--at", type=float, default=None,
+                      help="first episode start in simulated seconds")
+    cgen.add_argument("--duration", type=float, default=None,
+                      help="episode length in simulated seconds")
+    cgen.add_argument("--count", type=int, default=None,
+                      help="number of episodes (node-churn / slot-flaps)")
+    cgen.add_argument("--every", type=float, default=None,
+                      help="episode period in simulated seconds")
+    cgen.add_argument("--factor", type=float, default=None,
+                      help="arrival-rate multiplier (surge / overload)")
+    cgen.add_argument("--tenant", default=None,
+                      help="target tenant ('*' matches all; poison-tenant / "
+                           "surge)")
+    cgen.add_argument("--probability", type=float, default=None,
+                      help="per-attempt poison probability (poison-tenant)")
+    cgen.add_argument("--max-poisoned", type=int, default=None,
+                      help="total poison budget (poison-tenant)")
+    cgen.add_argument("--plan-seed", type=int, default=0,
+                      help="seed for backoff/cool-down/surge draws")
+    cgen.add_argument("--retries", type=int, default=None,
+                      help="override the per-job retry budget")
+    cgen.add_argument("--deadline", type=float, default=None,
+                      help="override the per-job deadline (seconds after "
+                           "arrival)")
+    cgen.add_argument("--max-queue", type=int, default=None,
+                      help="override the admission queue-length limit")
+    cshow = chaos_sub.add_parser(
+        "show", help="validate a chaos plan and summarise its cluster scope"
+    )
+    cshow.add_argument("plan", help="fault plan JSON (repro.faults/2)")
+
     history = sub.add_parser(
         "history", help="reconstruct a finished run from its event log"
     )
@@ -263,8 +314,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-queue", type=int, default=None, metavar="N",
                        help="admission control: reject arrivals once N jobs "
                             "queue (default: admit everything)")
+    serve.add_argument("--max-wait", type=float, default=None, metavar="SECS",
+                       help="admission control: shed arrivals when the "
+                            "estimated queue wait exceeds SECS")
     serve.add_argument("--faults", metavar="PLAN.json", default=None,
-                       help="inject this fault plan into every inner run")
+                       help="inject this fault plan; engine-scope faults go "
+                            "into every inner run, a repro.faults/2 cluster "
+                            "section drives the service layer (node churn, "
+                            "surges, overload protection)")
+    serve.add_argument("--validate", action="store_true",
+                       help="attach the cluster invariant monitor (job "
+                            "conservation, grant legality, breaker "
+                            "legality); violations exit 1")
     serve.add_argument("--events", metavar="PATH", default=None,
                        help="per-job JSONL event logs (out.j0007.jsonl; a "
                             "single-job plan writes PATH exactly)")
@@ -815,6 +876,13 @@ def cmd_faults(args) -> int:
             spec = plan.speculation
             print(f"  speculation: enabled={spec.enabled} "
                   f"multiplier={spec.multiplier} quantile={spec.quantile}")
+        if plan.cluster is not None:
+            cluster = plan.cluster
+            print(f"  cluster: {len(cluster.node_churn)} churn episode(s), "
+                  f"{len(cluster.slot_flaps)} slot flap(s), "
+                  f"{len(cluster.poison)} poison rule(s), "
+                  f"{len(cluster.surges)} surge(s) "
+                  f"(see 'repro chaos show')")
         if plan.is_empty:
             print("  (empty: no faults will be injected)")
         return 0
@@ -843,6 +911,96 @@ def cmd_faults(args) -> int:
     else:
         plan.save(args.out)
         print(f"wrote {args.kind} plan to {args.out}")
+    return 0
+
+
+def cmd_chaos(args) -> int:
+    from dataclasses import replace
+
+    if args.chaos_command == "show":
+        try:
+            plan = FaultPlan.load(args.plan)  # load() validates
+        except FileNotFoundError:
+            raise FaultPlanError(f"no such file: {args.plan}") from None
+        if plan.cluster is None:
+            print(f"valid fault plan (seed {plan.seed}) with no cluster "
+                  f"scope; see 'repro faults show'")
+            return 0
+        cluster = plan.cluster
+        print(f"valid chaos plan (seed {plan.seed})")
+        for churn in cluster.node_churn:
+            until = ("forever" if churn.duration is None
+                     else f"for {churn.duration:g}s")
+            print(f"  node-churn: node {churn.node_id} down at "
+                  f"{churn.down_at:g}s {until}")
+        for flap in cluster.slot_flaps:
+            print(f"  slot-flap: node {flap.node_id} drained at "
+                  f"{flap.at:g}s for {flap.duration:g}s")
+        for rule in cluster.poison:
+            print(f"  poison: tenant {rule.tenant} p={rule.probability:g} "
+                  f"budget {rule.max_poisoned} at {rule.at_fraction:g} of "
+                  f"runtime")
+        for surge in cluster.surges:
+            scope = "all tenants" if surge.tenant is None else surge.tenant
+            print(f"  surge: x{surge.factor:g} for {scope} at "
+                  f"{surge.at:g}s for {surge.duration:g}s")
+        protection = cluster.protection
+        guards = [f"retries {protection.max_retries}",
+                  f"backoff {protection.backoff_base:g}s "
+                  f"cap {protection.backoff_cap:g}s"]
+        if protection.deadline is not None:
+            guards.append(f"deadline {protection.deadline:g}s")
+        if protection.slo_latency is not None:
+            guards.append(f"slo {protection.slo_latency:g}s")
+        if protection.max_queue is not None:
+            guards.append(f"max-queue {protection.max_queue}")
+        if protection.max_wait is not None:
+            guards.append(f"max-wait {protection.max_wait:g}s")
+        if protection.breaker_failures is not None:
+            guards.append(f"breaker K={protection.breaker_failures} "
+                          f"cool-down {protection.breaker_cooldown:g}s")
+        if protection.degrade_queue is not None:
+            guards.append(f"degrade at queue {protection.degrade_queue} "
+                          f"to x{protection.degrade_factor:g} slots")
+        print(f"  protection: {', '.join(guards)}")
+        return 0
+
+    # generate: map the generic flags onto the chosen builder's kwargs.
+    option_names = {
+        "node-churn": {"node": "node_id", "at": "at", "duration": "duration",
+                       "count": "count", "every": "every"},
+        "slot-flaps": {"node": "node_id", "at": "at", "duration": "duration",
+                       "count": "count", "every": "every"},
+        "poison-tenant": {"tenant": "tenant", "probability": "probability",
+                          "max_poisoned": "max_poisoned"},
+        "surge": {"at": "at", "duration": "duration", "factor": "factor",
+                  "tenant": "tenant"},
+        "overload": {"node": "node_id", "at": "at", "duration": "duration",
+                     "factor": "factor"},
+    }[args.kind]
+    kwargs = {"seed": args.plan_seed}
+    for flag, param in option_names.items():
+        value = getattr(args, flag)
+        if value is not None:
+            kwargs[param] = value
+    plan = CANNED_CHAOS[args.kind](**kwargs)
+    overrides = {}
+    if args.retries is not None:
+        overrides["max_retries"] = args.retries
+    if args.deadline is not None:
+        overrides["deadline"] = args.deadline
+    if args.max_queue is not None:
+        overrides["max_queue"] = args.max_queue
+    if overrides:
+        protection = replace(plan.cluster.protection, **overrides)
+        plan = replace(plan,
+                       cluster=replace(plan.cluster, protection=protection))
+        plan.validate()
+    if args.out is None:
+        print(plan.to_json())
+    else:
+        plan.save(args.out)
+        print(f"wrote {args.kind} chaos plan to {args.out}")
     return 0
 
 
@@ -1155,7 +1313,26 @@ def cmd_profile(args) -> int:
 
 
 def cmd_validate(args) -> int:
-    from repro.validation import validate_events
+    from repro.validation import validate_events, validate_service_report
+
+    # A repro.service/* report is one JSON document, not an event log;
+    # sniff it first and route it to the cluster-level checkers.
+    try:
+        with open(args.eventlog, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except FileNotFoundError:
+        print(f"error: no such event log: {args.eventlog}", file=sys.stderr)
+        return 2
+    except (OSError, ValueError):
+        doc = None  # JSONL (or garbage): fall through to the event path
+    if (isinstance(doc, dict)
+            and str(doc.get("schema", "")).startswith("repro.service/")):
+        report = validate_service_report(doc)
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(report.summary())
+        return 0 if report.ok else 1
 
     try:
         events = load_events(args.eventlog)
@@ -1179,7 +1356,7 @@ def cmd_validate(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    from repro.cluster.scheduler import max_queue_admission
+    from repro.cluster.scheduler import max_queue_admission, max_wait_admission
     from repro.harness.service import run_service, validate_report
 
     try:
@@ -1192,9 +1369,21 @@ def cmd_serve(args) -> int:
             fault_plan_doc = FaultPlan.load(args.faults).to_dict()
         except FileNotFoundError:
             raise FaultPlanError(f"no such file: {args.faults}") from None
-    admission = None
+    hooks = []
     if args.max_queue is not None:
-        admission = max_queue_admission(args.max_queue)
+        hooks.append(max_queue_admission(args.max_queue))
+    if args.max_wait is not None:
+        hooks.append(max_wait_admission(args.max_wait))
+    if len(hooks) > 1:
+        admission = lambda job, state: all(hook(job, state)  # noqa: E731
+                                           for hook in hooks)
+    else:
+        admission = hooks[0] if hooks else None
+    monitor = None
+    if args.validate:
+        from repro.validation import ClusterInvariantMonitor
+
+        monitor = ClusterInvariantMonitor(mode="collect")
     report = run_service(
         plan,
         total_nodes=args.nodes,
@@ -1210,14 +1399,21 @@ def cmd_serve(args) -> int:
         profile_interval=args.profile_interval,
         admission=admission,
         core=_core_choice(args),
+        monitor=monitor,
     )
     doc = report.to_dict()
     validate_report(doc)
     if args.out:
         report.save(args.out)
+    violations = 0
+    if monitor is not None and not monitor.report.ok:
+        violations = len(monitor.report.violations)
+        for violation in monitor.report.violations:
+            print(f"invariant violation: {violation.render()}",
+                  file=sys.stderr)
     if args.json:
         print(json.dumps(doc, indent=2, sort_keys=True))
-        return 0
+        return 1 if violations else 0
     totals = doc["totals"]
     print(f"serve: {totals['submitted']} job(s) from {len(doc['tenants'])} "
           f"tenant(s) on {doc['cluster']['nodes']} slots "
@@ -1234,6 +1430,24 @@ def cmd_serve(args) -> int:
         print(f"rejected {totals['rejected']} | preemptions "
               f"{totals['preemptions']} | wasted "
               f"{doc['wasted_slot_seconds']:.1f} slot-seconds")
+    resilience = doc.get("resilience")
+    if resilience:
+        shed_total = sum(resilience["shed"].values())
+        print(f"resilience: retries {resilience['retries']} | shed "
+              f"{shed_total} | aborted {resilience['aborted']} | slo "
+              f"violations {resilience['slo_violations']} | fault waste "
+              f"{resilience['wasted_fault_slot_seconds']:.1f} slot-seconds")
+        episodes = resilience["mttr"]["episodes"]
+        if episodes:
+            worst = max(episode["mttr_s"] for episode in episodes)
+            print(f"node loss: {len(episodes)} recovered episode(s) | "
+                  f"worst mttr {worst:.1f} s | node downtime "
+                  f"{resilience['node_downtime_s']:.1f} s")
+        availability = " ".join(
+            f"{tenant}={value:.0%}"
+            for tenant, value in sorted(resilience["availability"].items())
+        )
+        print(f"availability: {availability}")
     print()
     rows = [
         (
@@ -1257,7 +1471,7 @@ def cmd_serve(args) -> int:
     ))
     if args.out:
         print(f"\nwrote report to {args.out}")
-    return 0
+    return 1 if violations else 0
 
 
 def cmd_arrivals(args) -> int:
@@ -1316,6 +1530,7 @@ COMMANDS = {
     "sweep": cmd_sweep,
     "compare": cmd_compare,
     "faults": cmd_faults,
+    "chaos": cmd_chaos,
     "bench": cmd_bench,
     "history": cmd_history,
     "profile": cmd_profile,

@@ -10,7 +10,10 @@ experiments that need identical nodes.
 and what every layer above shares: the engine schedules tasks onto its
 nodes' cores, the fault injector degrades its devices, and the service
 layer (SERVICE.md) treats each node as one executor slot when allocating
-across concurrent jobs.  Node-level activity is reported through the
+across concurrent jobs -- under a cluster-scope fault plan
+(``repro.faults/2``, FAULTS.md section 8) those slots additionally churn
+down/up and flap, tracked by the service scheduler's own slot state, not
+by this builder.  Node-level activity is reported through the
 ``node.<id>.*`` metric families that end up in ``repro.trace/1`` event
 logs and ``repro.profile/1`` demand profiles.
 """

@@ -9,6 +9,11 @@ cluster-level scheduler allocates to jobs (one executor slot per node --
 SERVICE.md); everything it emits lands in the run's event log via the
 node-scoped ``node.<id>.*`` metric names (see
 :data:`repro.observability.metrics.METRIC_UNITS`).
+
+The service layer keeps its own lightweight view of these slots
+(``repro.cluster.scheduler._Node``: churn/flap/occupancy state for
+cluster-scope fault plans, FAULTS.md section 8); this class stays the
+device-level model inside one engine run.
 """
 
 from __future__ import annotations

@@ -14,6 +14,13 @@ Determinism rules:
 * timed faults use :meth:`Simulator.call_at`, which keeps the event
   queue's insertion-order tie-breaking;
 * a context built without a plan never reaches this module.
+
+Scope note: the injector replays only the **engine scope** of a plan.
+A plan's ``cluster:`` section (schema ``repro.faults/2`` -- node churn,
+slot flaps, poison jobs, demand surges) is interpreted by the service
+layer (:mod:`repro.cluster.scheduler` via ``repro serve``) and is
+deliberately invisible here, so a cluster-only plan leaves inner engine
+runs byte-identical to faultless ones (FAULTS.md section 8).
 """
 
 from __future__ import annotations

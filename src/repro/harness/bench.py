@@ -402,6 +402,70 @@ def bench_fork_sweep(smoke: bool = False) -> Dict[str, Any]:
     }
 
 
+def bench_serve_chaos(smoke: bool = False) -> Dict[str, Any]:
+    """Service-loop throughput, chaos machinery off vs on.
+
+    Drives :class:`~repro.cluster.scheduler.ClusterScheduler` directly on
+    synthetic jobs (no inner engine runs), so the measurement isolates the
+    outer event loop.  The chaos-off pass is the regression figure of
+    merit (``events_per_sec`` = jobs scheduled per wall second): the
+    chaos-free fast path must not pay for the fault machinery.  The
+    chaos-on pass (node churn + retries + breaker-armed protection over
+    the same job stream) is reported as ``chaos_wall_s`` /
+    ``overhead_frac`` for tracking, not gating -- chaos work is real work.
+    """
+    from repro.cluster.scheduler import ClusterScheduler, ServiceJob
+    from repro.faults.plan import ClusterFaults, NodeChurn, ProtectionConfig
+
+    jobs = 2_000 if smoke else 10_000
+    slots = 16
+
+    def job_stream() -> list:
+        return [
+            ServiceJob(
+                job_id=f"j{index:05d}",
+                tenant=f"t{index % 4}",
+                workload="synthetic",
+                arrival=index * 0.5,
+                slots=1 + index % 3,
+                runtime=20.0 + (index * 7) % 40,
+            )
+            for index in range(jobs)
+        ]
+
+    def run_plain() -> int:
+        result = ClusterScheduler(slots, "fair").run(job_stream())
+        return result.completed
+
+    events, wall = _timed(run_plain, repeats=1 if smoke else 3)
+
+    churn = tuple(
+        NodeChurn(node_id=node, down_at=500.0 + 400.0 * node, duration=300.0)
+        for node in range(4)
+    )
+    chaos = ClusterFaults(
+        node_churn=churn,
+        protection=ProtectionConfig(max_retries=3, breaker_failures=5,
+                                    max_queue=jobs),
+    )
+
+    def run_chaos() -> int:
+        result = ClusterScheduler(slots, "fair", chaos=chaos,
+                                  chaos_seed=42).run(job_stream())
+        return result.completed + result.rejected + result.aborted
+
+    _chaos_events, chaos_wall = _timed(run_chaos, repeats=1 if smoke else 3)
+
+    result = _rate_result(events, wall)
+    result.update({
+        "jobs": jobs,
+        "slots": slots,
+        "chaos_wall_s": chaos_wall,
+        "overhead_frac": (chaos_wall - wall) / wall if wall > 0 else 0.0,
+    })
+    return result
+
+
 # -- suite -----------------------------------------------------------------
 
 #: Registry behind ``repro bench``: name -> ``fn(smoke, parallel)``.
@@ -426,6 +490,7 @@ BENCHMARKS: Dict[str, Callable[[bool, int], Dict[str, Any]]] = {
     "sweep": lambda smoke, parallel: bench_sweep(
         parallel=parallel, smoke=smoke),
     "fork_sweep": lambda smoke, parallel: bench_fork_sweep(smoke=smoke),
+    "serve_chaos": lambda smoke, parallel: bench_serve_chaos(smoke=smoke),
 }
 
 

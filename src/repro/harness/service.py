@@ -18,11 +18,19 @@ its ``job_id`` suffixed into the path; a single-job plan writes to the
 exact requested path, which is how CI ``cmp``s a single-tenant serve event
 log against the equivalent ``repro run`` golden.  Reports contain no
 wall-clock timestamps: same plan + same seed -> byte-identical report.
+
+A ``repro.faults/2`` plan splits here: its engine-scope faults go into
+every inner oracle run unchanged, while the ``cluster`` section (node
+churn, slot flaps, poison jobs, surges, protection policy) drives the
+outer :class:`~repro.cluster.scheduler.ClusterScheduler`.  Chaos adds a
+``resilience`` section to the report (retries, sheds, SLO violations,
+per-tenant availability, MTTR, fault-attributable waste); without chaos
+the report layout is byte-identical to the pre-chaos format.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.atomicio import atomic_write_json
@@ -33,6 +41,7 @@ from repro.cluster.scheduler import (
     ServiceResult,
     jobs_from_arrivals,
 )
+from repro.faults.plan import ClusterFaults, FaultPlan
 from repro.harness.parallel import RunConfig, map_runs
 from repro.observability.metrics import tenant_metric
 from repro.workloads.arrivals import ArrivalPlan, JobArrival, JobTemplate
@@ -195,23 +204,47 @@ def run_service(
     admission: Optional[AdmissionHook] = None,
     preemption: Optional[PreemptionHook] = None,
     core: Optional[str] = None,
+    monitor: Optional[Any] = None,
 ) -> ServiceReport:
     """Run one full service scenario and assemble its SLO report.
 
     ``seed`` (when given) overrides the plan's arrival seed, so one plan
-    file can drive many seeded scenarios.  ``fault_plan_doc`` is injected
-    into *every* inner engine run (contention under faults composes).
+    file can drive many seeded scenarios.  ``fault_plan_doc``'s
+    engine-scope faults are injected into *every* inner engine run
+    (contention under faults composes); its ``cluster`` section (schema
+    ``repro.faults/2``) drives the outer scheduler instead and never
+    reaches the oracle, so a cluster-only plan leaves the inner runs --
+    and their event logs -- byte-identical to a faultless serve.
     ``core`` selects the kernel backend for every inner engine run; the
-    report is byte-identical across backends.
+    report is byte-identical across backends.  ``monitor`` (a
+    :class:`~repro.validation.cluster.ClusterInvariantMonitor`) checks
+    cluster invariants live without perturbing the schedule.
     """
     if seed is not None and seed != plan.seed:
         plan = replace(plan, seed=seed)
+
+    chaos: Optional[ClusterFaults] = None
+    chaos_seed = 0
+    engine_plan_doc = fault_plan_doc
+    if fault_plan_doc is not None:
+        fault_plan = FaultPlan.from_dict(fault_plan_doc)
+        if fault_plan.cluster is not None:
+            chaos = fault_plan.cluster
+            chaos_seed = fault_plan.seed
+            engine_plan_doc = fault_plan.engine_dict()
+
     arrivals = plan.generate()
+    if chaos is not None and chaos.surges:
+        from repro.cluster.chaos import expand_surges
+
+        arrivals = expand_surges(plan, arrivals, chaos.surges,
+                                 seed=chaos_seed)
+
     runtimes, distinct_runs = compute_runtimes(
         arrivals,
         cores=cores,
         device=device,
-        fault_plan_doc=fault_plan_doc,
+        fault_plan_doc=engine_plan_doc,
         parallel=parallel,
         events_path=events_path,
         trace_path=trace_path,
@@ -219,15 +252,42 @@ def run_service(
         profile_interval=profile_interval,
         core=core,
     )
+
+    # Graceful degradation needs the oracle to price the shrunken grant
+    # too (runtime at fewer slots); dedup keeps this to a few extra runs.
+    degraded_runtimes: Optional[Dict[str, Tuple[int, float]]] = None
+    if chaos is not None and chaos.protection.degrade_queue is not None:
+        factor = chaos.protection.degrade_factor
+        shrunk = [
+            replace(arrival, slots=max(1, int(arrival.slots * factor)))
+            for arrival in arrivals
+            if max(1, int(arrival.slots * factor)) < arrival.slots
+        ]
+        if shrunk:
+            extra, extra_runs = compute_runtimes(
+                shrunk, cores=cores, device=device,
+                fault_plan_doc=engine_plan_doc, parallel=parallel, core=core,
+            )
+            distinct_runs += extra_runs
+            degraded_runtimes = {
+                arrival.job_id: (arrival.slots, extra[arrival.job_id])
+                for arrival in shrunk
+            }
+
     scheduler = ClusterScheduler(
         total_slots=total_nodes,
         discipline=discipline,
         admission=admission,
         preemption=preemption,
+        chaos=chaos,
+        chaos_seed=chaos_seed,
+        monitor=monitor,
     )
-    result = scheduler.run(jobs_from_arrivals(arrivals, runtimes))
+    result = scheduler.run(
+        jobs_from_arrivals(arrivals, runtimes, degraded_runtimes)
+    )
     doc = _build_report(plan, result, cores=cores, device=device,
-                        distinct_runs=distinct_runs)
+                        distinct_runs=distinct_runs, chaos=chaos)
     return ServiceReport(doc=doc, result=result)
 
 
@@ -237,6 +297,7 @@ def _build_report(
     cores: int,
     device: str,
     distinct_runs: int,
+    chaos: Optional[ClusterFaults] = None,
 ) -> Dict[str, Any]:
     registry = result.registry
     weights = {tenant.name: tenant.weight for tenant in plan.tenants}
@@ -256,7 +317,33 @@ def _build_report(
             "queue_delay": registry.histogram(
                 tenant_metric(tenant.name, "queue_delay")).summary(),
         })
-    return {
+    job_rows = []
+    for job in result.jobs:
+        row = {
+            "job_id": job.job_id,
+            "tenant": job.tenant,
+            "workload": job.workload,
+            "slots": job.slots,
+            "arrival": job.arrival,
+            "start": job.start,
+            "end": job.end,
+            "runtime": job.runtime,
+            "latency": job.latency,
+            "queue_delay": job.queue_delay,
+            "preemptions": job.preemptions,
+            "rejected": job.rejected,
+        }
+        if chaos is not None:
+            # Chaos-only keys, so chaos-free reports stay byte-identical.
+            row.update({
+                "retries": job.retries,
+                "aborted": job.aborted,
+                "abort_reason": job.abort_reason,
+                "shed_reason": job.shed_reason,
+                "granted": job.granted,
+            })
+        job_rows.append(row)
+    doc = {
         "schema": REPORT_SCHEMA,
         "seed": plan.seed,
         "scheduler": result.discipline,
@@ -282,24 +369,33 @@ def _build_report(
             "queue_delay": registry.histogram("service.queue_delay").summary(),
         },
         "tenants": tenants,
-        "jobs": [
-            {
-                "job_id": job.job_id,
-                "tenant": job.tenant,
-                "workload": job.workload,
-                "slots": job.slots,
-                "arrival": job.arrival,
-                "start": job.start,
-                "end": job.end,
-                "runtime": job.runtime,
-                "latency": job.latency,
-                "queue_delay": job.queue_delay,
-                "preemptions": job.preemptions,
-                "rejected": job.rejected,
-            }
-            for job in result.jobs
-        ],
+        "jobs": job_rows,
     }
+    if chaos is not None:
+        availability = {}
+        for tenant in plan.tenants:
+            jobs = [job for job in result.jobs if job.tenant == tenant.name]
+            done = sum(1 for job in jobs if job.end is not None)
+            availability[tenant.name] = done / len(jobs) if jobs else 1.0
+        doc["resilience"] = {
+            "aborted": result.aborted,
+            "retries": result.retried,
+            "shed": result.shed,
+            "slo_violations": result.slo_violations,
+            "availability": availability,
+            "mttr": {
+                "episodes": result.mttr,
+                "summary": registry.histogram("service.mttr").summary(),
+            },
+            "retry_backoff": registry.histogram(
+                "service.retry_backoff").summary(),
+            "wasted_fault_slot_seconds": result.wasted_fault_slot_seconds,
+            "degraded_grants": result.degraded_grants,
+            "node_downtime_s": result.node_downtime,
+            "breakers": result.breakers,
+            "protection": asdict(chaos.protection),
+        }
+    return doc
 
 
 def validate_report(doc: Dict[str, Any]) -> None:
@@ -319,10 +415,18 @@ def validate_report(doc: Dict[str, Any]) -> None:
         if field not in doc:
             raise ValueError(f"report missing field {field!r}")
     totals = doc["totals"]
-    if totals["submitted"] != totals["completed"] + totals["rejected"]:
+    resilience = doc.get("resilience") or {}
+    aborted = resilience.get("aborted", 0)
+    if totals["submitted"] != totals["completed"] + totals["rejected"] + aborted:
         raise ValueError(
             f"job conservation violated: submitted {totals['submitted']} != "
             f"completed {totals['completed']} + rejected {totals['rejected']}"
+            f" + aborted {aborted}"
+        )
+    if resilience and sum(resilience["shed"].values()) != totals["rejected"]:
+        raise ValueError(
+            f"shed reasons sum to {sum(resilience['shed'].values())} but "
+            f"{totals['rejected']} jobs were rejected"
         )
     if not 0.0 <= doc["fairness_index"] <= 1.0 + 1e-9:
         raise ValueError(f"fairness index out of range: {doc['fairness_index']}")

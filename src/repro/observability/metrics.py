@@ -57,6 +57,13 @@ METRIC_UNITS: Dict[str, str] = {
     "service.jobs.completed": "jobs",
     "service.jobs.rejected": "jobs",
     "service.jobs.preempted": "jobs",
+    "service.jobs.retried": "jobs",
+    "service.jobs.shed": "jobs",
+    "service.jobs.aborted": "jobs",
+    "service.slo_violations": "violations",
+    "service.breaker.opens": "transitions",
+    "service.retry_backoff": "seconds",
+    "service.mttr": "seconds",
 }
 
 

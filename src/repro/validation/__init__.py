@@ -8,9 +8,20 @@ legal hill-climb/rollback transitions, and shuffle-output accounting
 survives node loss.  :class:`InvariantMonitor` checks all of these during a
 run; :func:`validate_events` replays a recorded JSONL event log through the
 same checkers offline (the ``repro validate`` command).
+
+The multi-tenant service layer has its own invariants -- job conservation
+across queued/running/retried/shed/aborted states, no grants to down
+nodes, circuit-breaker state legality -- guarded live by
+:class:`ClusterInvariantMonitor` and offline by
+:func:`validate_service_report` (``repro validate`` on a saved
+``repro.service/*`` report).
 """
 
 from repro.validation.checkers import CheckContext, run_checkers
+from repro.validation.cluster import (
+    ClusterInvariantMonitor,
+    validate_service_report,
+)
 from repro.validation.monitor import InvariantMonitor, validate_events
 from repro.validation.report import (
     InvariantViolationError,
@@ -20,10 +31,12 @@ from repro.validation.report import (
 
 __all__ = [
     "CheckContext",
+    "ClusterInvariantMonitor",
     "InvariantMonitor",
     "InvariantViolationError",
     "ValidationReport",
     "Violation",
     "run_checkers",
     "validate_events",
+    "validate_service_report",
 ]

@@ -1,0 +1,225 @@
+"""Cluster-level invariant checkers for the multi-tenant service layer.
+
+The engine-side monitor (:mod:`repro.validation.monitor`) watches one
+job's task timeline; this module watches the layer above it -- the
+:class:`~repro.cluster.scheduler.ClusterScheduler` event loop and the
+``repro.service/1`` report it produces, under cluster-scope chaos
+(``repro.faults/2``).  Three families of invariants:
+
+* **Job conservation** -- every submitted job ends in exactly one terminal
+  state (completed, shed, or aborted); nothing is lost or double-counted
+  across queue / running / retry-backoff states.
+* **Grant legality** -- slots are never granted on a down or flapped node,
+  nor on a node another job already holds.
+* **Breaker legality** -- circuit breakers only make the transitions the
+  state machine allows (closed -> open -> half-open -> {closed, open}).
+
+:class:`ClusterInvariantMonitor` checks the first two live via scheduler
+hooks (``on_grant`` / ``on_breaker`` / ``on_final``);
+:func:`validate_service_report` replays all three offline from a saved
+report, which is what ``repro validate`` does when handed a
+``repro.service/*`` document instead of an event log.  Like the engine
+monitor, everything here is read-only: attaching a monitor never perturbs
+the schedule, so a monitored run stays byte-identical.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.cluster.chaos import BREAKER_STATES, LEGAL_BREAKER_TRANSITIONS
+from repro.validation.report import (
+    InvariantViolationError,
+    ValidationReport,
+    Violation,
+)
+
+_MODES = ("raise", "log", "collect")
+
+
+class ClusterInvariantMonitor:
+    """Live invariant guard for one :class:`ClusterScheduler` run.
+
+    ``mode`` picks what a violation does: ``"raise"`` (default) aborts the
+    run with :class:`InvariantViolationError` at the first broken
+    invariant, ``"log"`` prints each to stderr and keeps going,
+    ``"collect"`` just accumulates them on :attr:`report`.
+    """
+
+    def __init__(self, mode: str = "raise") -> None:
+        if mode not in _MODES:
+            raise ValueError(
+                f"unknown monitor mode {mode!r}; expected one of {_MODES}"
+            )
+        self.mode = mode
+        self.report = ValidationReport(listener=self._on_violation)
+        #: tenant -> current breaker state, as observed via transitions.
+        self._breaker_state: Dict[str, str] = {}
+
+    # -- violation routing -------------------------------------------------
+
+    def _on_violation(self, violation: Violation) -> None:
+        if self.mode == "raise":
+            raise InvariantViolationError(violation)
+        if self.mode == "log":
+            print(f"invariant violation: {violation.render()}",
+                  file=sys.stderr)
+
+    def _violation(self, invariant: str, message: str, ts: float,
+                   **context: Any) -> None:
+        self.report.add(Violation(invariant=invariant, message=message,
+                                  ts=ts, context=context))
+
+    # -- scheduler hooks ---------------------------------------------------
+
+    def on_grant(self, now: float, job: Any, node_ids: Sequence[int],
+                 nodes: Sequence[Any]) -> None:
+        """A grant is about to start ``job`` on ``node_ids``."""
+        self.report.checks_run += 1
+        for node_id in node_ids:
+            node = nodes[node_id]
+            if node.down > 0:
+                self._violation(
+                    "cluster.grant", f"granted down node {node_id} to "
+                    f"{job.job_id}", now, job=job.job_id, node=node_id)
+            if node.flaps > 0:
+                self._violation(
+                    "cluster.grant", f"granted flapped node {node_id} to "
+                    f"{job.job_id}", now, job=job.job_id, node=node_id)
+            if node.job is not None:
+                self._violation(
+                    "cluster.grant", f"granted busy node {node_id} to "
+                    f"{job.job_id} (held by {node.job})", now,
+                    job=job.job_id, node=node_id, holder=node.job)
+
+    def on_breaker(self, now: float, tenant: str, old: str,
+                   new: str) -> None:
+        """A circuit breaker moved ``old`` -> ``new``."""
+        self.report.checks_run += 1
+        if new not in LEGAL_BREAKER_TRANSITIONS.get(old, ()):
+            self._violation(
+                "cluster.breaker",
+                f"illegal breaker transition {old} -> {new} for {tenant}",
+                now, tenant=tenant)
+        self._breaker_state[tenant] = new
+
+    def on_final(self, now: float, submitted: int, completed: int,
+                 rejected: int, aborted: int) -> None:
+        """The loop drained; check terminal job conservation."""
+        self.report.checks_run += 1
+        if submitted != completed + rejected + aborted:
+            self._violation(
+                "cluster.conservation",
+                f"{submitted} submitted != {completed} completed + "
+                f"{rejected} shed + {aborted} aborted", now,
+                submitted=submitted, completed=completed,
+                rejected=rejected, aborted=aborted)
+
+
+def validate_service_report(doc: Dict[str, Any]) -> ValidationReport:
+    """Offline replay: check cluster invariants from a saved service report.
+
+    Accepts any ``repro.service/*`` document (the resilience section is
+    optional -- a chaos-free report is held to the same conservation
+    rules with zero aborts).  Returns a :class:`ValidationReport`; use
+    :meth:`~repro.validation.report.ValidationReport.ok` to gate on it.
+    """
+    report = ValidationReport()
+    schema = str(doc.get("schema", ""))
+    if not schema.startswith("repro.service/"):
+        report.add(Violation(
+            invariant="cluster.schema",
+            message=f"not a service report (schema {schema!r})"))
+        return report
+
+    totals = doc.get("totals", {})
+    resilience = doc.get("resilience") or {}
+    submitted = int(totals.get("submitted", 0))
+    completed = int(totals.get("completed", 0))
+    rejected = int(totals.get("rejected", 0))
+    aborted = int(resilience.get("aborted", 0))
+    report.checks_run += 1
+    if submitted != completed + rejected + aborted:
+        report.add(Violation(
+            invariant="cluster.conservation",
+            message=(f"{submitted} submitted != {completed} completed + "
+                     f"{rejected} shed + {aborted} aborted"),
+            context={"submitted": submitted, "completed": completed,
+                     "rejected": rejected, "aborted": aborted}))
+    shed = resilience.get("shed")
+    if shed is not None:
+        report.checks_run += 1
+        if sum(shed.values()) != rejected:
+            report.add(Violation(
+                invariant="cluster.conservation",
+                message=(f"shed reasons sum to {sum(shed.values())} but "
+                         f"{rejected} jobs were rejected"),
+                context={"shed": dict(shed), "rejected": rejected}))
+
+    # Per-job terminal-state legality: exactly one of done / shed / aborted.
+    max_end = 0.0
+    for row in doc.get("jobs", []):
+        report.checks_run += 1
+        done = row.get("end") is not None
+        was_shed = bool(row.get("rejected"))
+        was_aborted = bool(row.get("aborted"))
+        if done + was_shed + was_aborted != 1:
+            report.add(Violation(
+                invariant="cluster.terminal",
+                message=(f"job {row.get('job_id')} has "
+                         f"{done + was_shed + was_aborted} terminal states "
+                         f"(completed={done}, shed={was_shed}, "
+                         f"aborted={was_aborted})"),
+                context={"job": row.get("job_id")}))
+        if done:
+            max_end = max(max_end, float(row["end"]))
+    report.checks_run += 1
+    makespan = float(doc.get("makespan_s", 0.0))
+    if makespan + 1e-9 < max_end:
+        report.add(Violation(
+            invariant="cluster.makespan",
+            message=(f"makespan {makespan} precedes the last completion "
+                     f"at {max_end}"),
+            context={"makespan": makespan, "last_end": max_end}))
+
+    # Availability in [0, 1].
+    for tenant, value in sorted(
+            (resilience.get("availability") or {}).items()):
+        report.checks_run += 1
+        if not 0.0 <= float(value) <= 1.0:
+            report.add(Violation(
+                invariant="cluster.availability",
+                message=f"availability for {tenant} is {value}, "
+                        f"outside [0, 1]",
+                context={"tenant": tenant, "availability": value}))
+
+    # Breaker transition legality, replayed per tenant in time order.
+    for tenant, info in sorted((resilience.get("breakers") or {}).items()):
+        state = "closed"
+        for at, nxt in info.get("transitions", []):
+            report.checks_run += 1
+            if nxt not in BREAKER_STATES:
+                report.add(Violation(
+                    invariant="cluster.breaker",
+                    message=f"unknown breaker state {nxt!r} for {tenant}",
+                    ts=float(at), context={"tenant": tenant}))
+                continue
+            if nxt not in LEGAL_BREAKER_TRANSITIONS.get(state, ()):
+                report.add(Violation(
+                    invariant="cluster.breaker",
+                    message=(f"illegal breaker transition {state} -> {nxt} "
+                             f"for {tenant}"),
+                    ts=float(at), context={"tenant": tenant}))
+            state = nxt
+        report.checks_run += 1
+        if info.get("state") != state:
+            report.add(Violation(
+                invariant="cluster.breaker",
+                message=(f"breaker for {tenant} reports state "
+                         f"{info.get('state')!r} but its transitions end at "
+                         f"{state!r}"),
+                context={"tenant": tenant}))
+
+    report.events_seen = len(doc.get("jobs", []))
+    return report

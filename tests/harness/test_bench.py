@@ -100,7 +100,8 @@ class TestSuiteShape:
         expected = {"kernel_terasort", "kernel_terasort_vector",
                     "kernel_fairshare", "kernel_fairshare_vector",
                     "kernel_storm", "e2e_terasort", "e2e_pagerank",
-                    "profiler_overhead", "sweep", "fork_sweep"}
+                    "profiler_overhead", "sweep", "fork_sweep",
+                    "serve_chaos"}
         assert set(doc["benchmarks"]) == expected
         vector_benches = {"kernel_terasort_vector", "kernel_fairshare_vector"}
         from repro.simulation.kernel import core_available

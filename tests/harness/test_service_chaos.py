@@ -1,0 +1,232 @@
+"""Service-layer chaos: report byte-identity, surges, recovery, validation.
+
+End-to-end over :func:`run_service`: a cluster-scope fault plan must (a)
+leave chaos-free reports and inner-engine event logs byte-identical to a
+faultless serve, (b) produce byte-identical reports across re-runs at a
+fixed seed, (c) draw its backoff/surge randomness from fault-plan streams
+that never perturb the arrival plan's own draws, and (d) show recovery
+after node loss with clean conservation, surfaced through the report's
+``resilience`` section and the offline validator.
+"""
+
+import json
+
+import pytest
+
+from repro.faults.plan import (
+    ClusterFaults,
+    FaultPlan,
+    NodeChurn,
+    ProtectionConfig,
+    node_churn_plan,
+    surge_plan,
+)
+from repro.harness.service import run_service, validate_report
+from repro.validation import ClusterInvariantMonitor, validate_service_report
+from repro.workloads.arrivals import ArrivalPlan, JobTemplate, TenantSpec
+
+
+def small_plan(seed=42, horizon=400.0, rate=0.05, tenants=2):
+    return ArrivalPlan(
+        tenants=tuple(
+            TenantSpec(
+                name=f"t{index}",
+                mix=(JobTemplate(workload="terasort", scale=0.01),),
+                process=("poisson", rate, 0.0, None),
+                slots=1,
+                weight=1.0,
+            )
+            for index in range(tenants)
+        ),
+        seed=seed,
+        horizon=horizon,
+    )
+
+
+def dump(doc):
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+class TestByteIdentity:
+    def test_chaos_free_report_has_no_resilience_keys(self):
+        doc = run_service(small_plan(), total_nodes=4).doc
+        assert "resilience" not in doc
+        assert "retries" not in doc["jobs"][0]
+
+    def test_cluster_only_plan_leaves_report_shape_with_resilience(self):
+        fault = node_churn_plan(node_id=3, at=1e6)  # never fires in-horizon
+        doc = run_service(small_plan(), total_nodes=4,
+                          fault_plan_doc=fault.to_dict()).doc
+        base = run_service(small_plan(), total_nodes=4).doc
+        assert "resilience" in doc
+        # The schedule itself is untouched by a chaos plan that never fires.
+        assert dump(doc["tenants"]) == dump(base["tenants"])
+        assert doc["makespan_s"] == base["makespan_s"]
+
+    def test_seeded_chaos_report_is_byte_identical_across_runs(self):
+        fault = node_churn_plan(node_id=0, at=30.0, duration=60.0, seed=9)
+        first = run_service(small_plan(), total_nodes=2, discipline="fair",
+                            fault_plan_doc=fault.to_dict()).doc
+        second = run_service(small_plan(), total_nodes=2, discipline="fair",
+                             fault_plan_doc=fault.to_dict()).doc
+        assert dump(first) == dump(second)
+
+    def test_chaos_free_event_log_unchanged_by_cluster_plan(self, tmp_path):
+        # A cluster-only fault plan must never reach the inner engine:
+        # the per-job event log is byte-identical with and without it.
+        plan = ArrivalPlan(
+            tenants=(TenantSpec(
+                name="t0",
+                mix=(JobTemplate(workload="terasort", scale=0.01),),
+                process=("trace", (0.0,)),
+                slots=1, weight=1.0),),
+            seed=1,
+        )
+        plain = tmp_path / "plain.jsonl"
+        chaotic = tmp_path / "chaos.jsonl"
+        run_service(plan, total_nodes=2, events_path=str(plain))
+        fault = node_churn_plan(node_id=1, at=5.0, duration=10.0)
+        run_service(plan, total_nodes=2, events_path=str(chaotic),
+                    fault_plan_doc=fault.to_dict())
+        assert plain.read_bytes() == chaotic.read_bytes()
+
+
+class TestSurges:
+    def test_surge_adds_arrivals_inside_window(self):
+        base = run_service(small_plan(), total_nodes=8).doc
+        fault = surge_plan(at=50.0, duration=200.0, factor=4.0, seed=2)
+        surged = run_service(small_plan(), total_nodes=8,
+                             fault_plan_doc=fault.to_dict()).doc
+        assert surged["totals"]["submitted"] > base["totals"]["submitted"]
+
+    def test_thinning_surge_removes_arrivals(self):
+        base = run_service(small_plan(), total_nodes=8).doc
+        fault = surge_plan(at=0.0, duration=400.0, factor=0.2, seed=2)
+        thinned = run_service(small_plan(), total_nodes=8,
+                              fault_plan_doc=fault.to_dict()).doc
+        assert thinned["totals"]["submitted"] < base["totals"]["submitted"]
+
+    def test_surge_draws_never_perturb_base_arrivals(self):
+        # The surge's extra arrivals come from fault-plan streams; the
+        # base arrivals (ids reassigned, same times) must be the subset
+        # drawn by the arrival plan alone.
+        plan = small_plan()
+        base_times = sorted((a.time, a.tenant) for a in plan.generate())
+        fault = surge_plan(at=100.0, duration=100.0, factor=3.0, seed=5)
+        doc = run_service(plan, total_nodes=8,
+                          fault_plan_doc=fault.to_dict()).doc
+        surged_times = sorted(
+            (row["arrival"], row["tenant"]) for row in doc["jobs"])
+        for pair in base_times:
+            assert pair in surged_times
+
+    def test_chaos_seed_changes_surge_but_not_base(self):
+        plan = small_plan()
+        docs = []
+        for chaos_seed in (1, 2):
+            fault = surge_plan(at=100.0, duration=100.0, factor=3.0,
+                               seed=chaos_seed)
+            docs.append(run_service(plan, total_nodes=8,
+                                    fault_plan_doc=fault.to_dict()).doc)
+        base_times = {(a.time, a.tenant) for a in plan.generate()}
+        for doc in docs:
+            times = {(row["arrival"], row["tenant"]) for row in doc["jobs"]}
+            assert base_times <= times
+        assert (docs[0]["totals"]["submitted"]
+                != docs[1]["totals"]["submitted"]) or (
+            dump(docs[0]["jobs"]) != dump(docs[1]["jobs"]))
+
+
+class TestRecovery:
+    def test_node_loss_recovery_and_conservation(self):
+        fault = FaultPlan(
+            seed=3,
+            cluster=ClusterFaults(
+                node_churn=(NodeChurn(node_id=0, down_at=20.0,
+                                      duration=120.0),),
+                protection=ProtectionConfig(max_retries=3),
+            ),
+        )
+        monitor = ClusterInvariantMonitor(mode="raise")
+        report = run_service(small_plan(rate=0.1, horizon=300.0),
+                             total_nodes=2, discipline="fair",
+                             fault_plan_doc=fault.to_dict(),
+                             monitor=monitor)
+        doc = report.doc
+        validate_report(doc)
+        offline = validate_service_report(doc)
+        assert offline.ok, offline.summary()
+        totals = doc["totals"]
+        resilience = doc["resilience"]
+        # Recovery: every non-shed, non-aborted job completed.
+        assert totals["completed"] == (totals["submitted"]
+                                       - totals["rejected"]
+                                       - resilience["aborted"])
+        assert resilience["node_downtime_s"] == pytest.approx(120.0)
+        assert set(resilience["availability"]) == {"t0", "t1"}
+        assert monitor.report.checks_run > 0
+
+    def test_mttr_recorded_when_victims_recover(self):
+        # A dense single-slot scenario guarantees the downed node holds a
+        # job; MTTR covers down -> victim terminal.
+        plan = small_plan(rate=0.2, horizon=200.0, tenants=1)
+        fault = FaultPlan(
+            seed=4,
+            cluster=ClusterFaults(
+                node_churn=(NodeChurn(node_id=0, down_at=30.0,
+                                      duration=60.0),),
+                protection=ProtectionConfig(max_retries=5),
+            ),
+        )
+        doc = run_service(plan, total_nodes=1,
+                          fault_plan_doc=fault.to_dict()).doc
+        resilience = doc["resilience"]
+        assert resilience["retries"] >= 1
+        episodes = resilience["mttr"]["episodes"]
+        assert episodes and episodes[0]["mttr_s"] > 0
+        assert resilience["mttr"]["summary"]["count"] == len(episodes)
+        assert resilience["wasted_fault_slot_seconds"] > 0
+
+
+class TestDegradedOracle:
+    def test_degradation_prices_shrunken_grants_via_oracle(self):
+        plan = ArrivalPlan(
+            tenants=(TenantSpec(
+                name="t0",
+                mix=(JobTemplate(workload="terasort", scale=0.01),),
+                process=("poisson", 0.2, 0.0, None),
+                slots=2, weight=1.0),),
+            seed=6,
+            horizon=150.0,
+        )
+        fault = FaultPlan(
+            seed=6,
+            cluster=ClusterFaults(
+                protection=ProtectionConfig(degrade_queue=2,
+                                            degrade_factor=0.5),
+            ),
+        )
+        doc = run_service(plan, total_nodes=2,
+                          fault_plan_doc=fault.to_dict()).doc
+        # Two oracle prices: full grant (2 slots) and degraded (1 slot).
+        assert doc["totals"]["distinct_engine_runs"] == 2
+        if doc["resilience"]["degraded_grants"]:
+            degraded = [row for row in doc["jobs"]
+                        if row["granted"] == 1 and row["end"] is not None]
+            assert degraded
+
+
+class TestReportValidation:
+    def test_validate_report_rejects_bad_conservation(self):
+        doc = run_service(small_plan(), total_nodes=4).doc
+        doc["totals"]["completed"] += 1
+        with pytest.raises(ValueError, match="conservation"):
+            validate_report(doc)
+
+    def test_validate_report_rejects_shed_mismatch(self):
+        fault = node_churn_plan(node_id=0, at=30.0, duration=60.0)
+        doc = run_service(small_plan(), total_nodes=2,
+                          fault_plan_doc=fault.to_dict()).doc
+        doc["resilience"]["shed"] = {"queue": 99}
+        with pytest.raises(ValueError, match="shed"):
+            validate_report(doc)

@@ -383,6 +383,95 @@ class TestServe:
         assert serve_log.read_bytes() == run_log.read_bytes()
 
 
+class TestChaosCommand:
+    def _plan(self, tmp_path):
+        path = str(tmp_path / "plan.json")
+        assert main(["arrivals", "generate", "poisson", "--tenants", "2",
+                     "--rate", "0.02", "--horizon", "400",
+                     "--workload", "wordcount", "--scale", "0.02",
+                     "--out", path]) == 0
+        return path
+
+    def test_chaos_generate_stdout_is_valid_v2_plan(self, capsys):
+        from repro.faults.plan import PLAN_SCHEMA_V2, FaultPlan
+
+        assert main(["chaos", "generate", "node-churn", "--node", "1",
+                     "--at", "50", "--duration", "100"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == PLAN_SCHEMA_V2
+        plan = FaultPlan.from_dict(doc)
+        assert plan.cluster.node_churn[0].node_id == 1
+
+    def test_chaos_generate_protection_overrides(self, capsys):
+        assert main(["chaos", "generate", "overload", "--retries", "5",
+                     "--deadline", "90", "--max-queue", "7"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        protection = doc["cluster"]["protection"]
+        assert protection["max_retries"] == 5
+        assert protection["deadline"] == 90.0
+        assert protection["max_queue"] == 7
+
+    def test_chaos_show_summarises_cluster_scope(self, tmp_path, capsys):
+        path = str(tmp_path / "chaos.json")
+        assert main(["chaos", "generate", "overload", "--out", path]) == 0
+        capsys.readouterr()
+        assert main(["chaos", "show", path]) == 0
+        out = capsys.readouterr().out
+        assert "node-churn" in out
+        assert "surge" in out
+        assert "protection" in out
+
+    def test_chaos_show_engine_only_plan(self, tmp_path, capsys):
+        path = str(tmp_path / "engine.json")
+        assert main(["faults", "generate", "node-loss", "--out", path]) == 0
+        capsys.readouterr()
+        assert main(["chaos", "show", path]) == 0
+        assert "no cluster scope" in capsys.readouterr().out
+
+    def test_chaos_show_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["chaos", "show", str(tmp_path / "no.json")]) == 2
+        assert "invalid fault plan" in capsys.readouterr().err
+
+    def test_faults_show_mentions_cluster_section(self, tmp_path, capsys):
+        path = str(tmp_path / "chaos.json")
+        assert main(["chaos", "generate", "node-churn", "--out", path]) == 0
+        capsys.readouterr()
+        assert main(["faults", "show", path]) == 0
+        assert "cluster:" in capsys.readouterr().out
+
+    def test_serve_with_chaos_plan_reports_resilience(self, tmp_path,
+                                                      capsys):
+        plan = self._plan(tmp_path)
+        chaos = str(tmp_path / "chaos.json")
+        assert main(["chaos", "generate", "node-churn", "--node", "0",
+                     "--at", "20", "--duration", "100",
+                     "--out", chaos]) == 0
+        out_path = str(tmp_path / "report.json")
+        capsys.readouterr()
+        assert main(["serve", "--plan", plan, "--nodes", "2", "--cores", "8",
+                     "--faults", chaos, "--validate",
+                     "--out", out_path]) == 0
+        out = capsys.readouterr().out
+        assert "resilience:" in out
+        assert "availability:" in out
+        doc = json.loads(open(out_path).read())
+        assert "resilience" in doc
+        # The saved report round-trips through `repro validate`.
+        assert main(["validate", out_path]) == 0
+
+    def test_serve_max_wait_flag_sheds(self, tmp_path, capsys):
+        plan = str(tmp_path / "plan.json")
+        assert main(["arrivals", "generate", "poisson", "--tenants", "2",
+                     "--rate", "0.2", "--horizon", "200",
+                     "--workload", "wordcount", "--scale", "0.02",
+                     "--out", plan]) == 0
+        capsys.readouterr()
+        assert main(["serve", "--plan", plan, "--nodes", "1", "--cores", "8",
+                     "--max-wait", "10", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["totals"]["rejected"] > 0
+
+
 class TestCoreFlag:
     def test_parser_accepts_core_on_every_subcommand(self):
         parser = build_parser()

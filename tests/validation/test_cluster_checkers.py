@@ -1,0 +1,182 @@
+"""Cluster-level invariant checkers: live monitor and offline report replay.
+
+:class:`ClusterInvariantMonitor` hooks into the service scheduler (grant
+legality, breaker legality, final conservation);
+:func:`validate_service_report` replays the same families of invariants
+from a saved ``repro.service/*`` document.  These tests pin both against
+hand-built good and corrupted inputs, plus the ``repro validate`` CLI
+routing that sniffs service reports apart from event logs.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.cluster.scheduler import ClusterScheduler, ServiceJob, _Node
+from repro.faults.plan import ClusterFaults, NodeChurn, ProtectionConfig
+from repro.validation import (
+    ClusterInvariantMonitor,
+    InvariantViolationError,
+    validate_service_report,
+)
+
+
+def good_report(**overrides):
+    doc = {
+        "schema": "repro.service/1",
+        "totals": {"submitted": 3, "completed": 2, "rejected": 1},
+        "makespan_s": 20.0,
+        "jobs": [
+            {"job_id": "j0", "end": 10.0, "rejected": False,
+             "aborted": False},
+            {"job_id": "j1", "end": 20.0, "rejected": False,
+             "aborted": False},
+            {"job_id": "j2", "end": None, "rejected": True,
+             "aborted": False},
+        ],
+        "resilience": {
+            "aborted": 0,
+            "shed": {"queue": 1},
+            "availability": {"a": 1.0, "b": 0.5},
+            "breakers": {
+                "a": {
+                    "state": "closed",
+                    "opens": 1,
+                    "transitions": [[5.0, "open"], [8.0, "half_open"],
+                                    [9.0, "closed"]],
+                },
+            },
+        },
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestOfflineReportValidation:
+    def test_clean_report_passes(self):
+        report = validate_service_report(good_report())
+        assert report.ok, report.summary()
+        assert report.checks_run > 0
+
+    def test_chaos_free_report_passes_without_resilience(self):
+        doc = good_report()
+        doc["totals"] = {"submitted": 2, "completed": 2, "rejected": 0}
+        doc["jobs"] = doc["jobs"][:2]
+        del doc["resilience"]
+        assert validate_service_report(doc).ok
+
+    def test_non_service_document_is_one_violation(self):
+        report = validate_service_report({"schema": "repro.trace/1"})
+        assert not report.ok
+        assert report.violations[0].invariant == "cluster.schema"
+
+    def test_conservation_violation_detected(self):
+        doc = good_report()
+        doc["totals"]["completed"] = 3
+        report = validate_service_report(doc)
+        assert any(v.invariant == "cluster.conservation"
+                   for v in report.violations)
+
+    def test_shed_reason_mismatch_detected(self):
+        doc = good_report()
+        doc["resilience"]["shed"] = {"queue": 5}
+        report = validate_service_report(doc)
+        assert any(v.invariant == "cluster.conservation"
+                   for v in report.violations)
+
+    def test_double_terminal_state_detected(self):
+        doc = good_report()
+        doc["jobs"][0]["rejected"] = True
+        report = validate_service_report(doc)
+        assert any(v.invariant == "cluster.terminal"
+                   for v in report.violations)
+
+    def test_makespan_before_last_completion_detected(self):
+        doc = good_report(makespan_s=5.0)
+        report = validate_service_report(doc)
+        assert any(v.invariant == "cluster.makespan"
+                   for v in report.violations)
+
+    def test_availability_out_of_range_detected(self):
+        doc = good_report()
+        doc["resilience"]["availability"]["a"] = 1.5
+        report = validate_service_report(doc)
+        assert any(v.invariant == "cluster.availability"
+                   for v in report.violations)
+
+    def test_illegal_breaker_transition_detected(self):
+        doc = good_report()
+        doc["resilience"]["breakers"]["a"]["transitions"] = [
+            [5.0, "half_open"]]  # closed -> half_open is illegal
+        doc["resilience"]["breakers"]["a"]["state"] = "half_open"
+        report = validate_service_report(doc)
+        assert any(v.invariant == "cluster.breaker"
+                   for v in report.violations)
+
+    def test_final_state_must_match_transitions(self):
+        doc = good_report()
+        doc["resilience"]["breakers"]["a"]["state"] = "open"
+        report = validate_service_report(doc)
+        assert any(v.invariant == "cluster.breaker"
+                   for v in report.violations)
+
+
+class TestLiveMonitor:
+    def test_grant_to_down_node_raises(self):
+        monitor = ClusterInvariantMonitor(mode="raise")
+        nodes = [_Node(), _Node()]
+        nodes[1].down = 1
+        job = ServiceJob(job_id="j0", tenant="a", workload="w", arrival=0.0,
+                         slots=1, runtime=1.0)
+        with pytest.raises(InvariantViolationError, match="down node"):
+            monitor.on_grant(1.0, job, [1], nodes)
+
+    def test_collect_mode_accumulates(self):
+        monitor = ClusterInvariantMonitor(mode="collect")
+        monitor.on_breaker(1.0, "a", "closed", "half_open")
+        monitor.on_final(2.0, submitted=3, completed=1, rejected=1,
+                         aborted=0)
+        assert len(monitor.report.violations) == 2
+        assert not monitor.report.ok
+
+    def test_legal_run_is_clean(self):
+        monitor = ClusterInvariantMonitor(mode="raise")
+        chaos = ClusterFaults(
+            node_churn=(NodeChurn(node_id=0, down_at=5.0, duration=10.0),),
+            protection=ProtectionConfig(max_retries=2),
+        )
+        jobs = [ServiceJob(job_id=f"j{i}", tenant="a", workload="w",
+                           arrival=float(i), slots=1, runtime=8.0)
+                for i in range(6)]
+        result = ClusterScheduler(2, "fifo", chaos=chaos, chaos_seed=1,
+                                  monitor=monitor).run(jobs)
+        assert result.completed + result.rejected + result.aborted == 6
+        assert monitor.report.ok
+        assert monitor.report.checks_run > 0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            ClusterInvariantMonitor(mode="explode")
+
+
+class TestCliRouting:
+    def test_validate_routes_service_report(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps(good_report()))
+        assert main(["validate", str(path)]) == 0
+        assert "checks" in capsys.readouterr().out
+
+    def test_validate_fails_on_corrupt_report(self, tmp_path):
+        doc = good_report()
+        doc["totals"]["completed"] = 99
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps(doc))
+        assert main(["validate", str(path)]) == 1
+
+    def test_validate_json_output(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps(good_report()))
+        assert main(["validate", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["violations"] == []
